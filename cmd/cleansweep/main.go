@@ -1,0 +1,110 @@
+// Command cleansweep runs ad-hoc cleaning-policy studies: one policy,
+// one locality, arbitrary array organizations — the exploratory
+// companion to cmd/experiments' fixed figure sweeps.
+//
+// Example:
+//
+//	cleansweep -policy hybrid -partition 16 -locality 10/90
+//	cleansweep -policy greedy -segments 257 -pages 256 -locality 5/95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"envy/internal/cleaner"
+	"envy/internal/flash"
+	"envy/internal/sim"
+	"envy/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cleansweep: ")
+
+	var (
+		policy    = flag.String("policy", "hybrid", "policy: hybrid, lg, fifo, greedy")
+		partition = flag.Int("partition", 16, "segments per partition (hybrid)")
+		segments  = flag.Int("segments", 129, "number of segments (one is the spare)")
+		pages     = flag.Int("pages", 128, "pages per segment")
+		locality  = flag.String("locality", "50/50", "bimodal locality, e.g. 10/90")
+		kind      = flag.String("workload", "bimodal", "workload: bimodal, sequential, shifting")
+		warm      = flag.Int("warm", 60, "warm-up writes, in multiples of the logical page count")
+		measure   = flag.Int("measure", 20, "measured writes, in multiples of the logical page count")
+		wear      = flag.Int64("wear", 0, "wear-leveling threshold (0 = off)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	dist, err := sim.ParseLocality(*locality)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo := flash.Geometry{PageSize: 256, PagesPerSegment: *pages, Segments: *segments, Banks: 1}
+	cfg := cleaner.Config{WearThreshold: *wear}
+	switch *policy {
+	case "hybrid":
+		cfg.Kind, cfg.PartitionSegments = cleaner.Hybrid, *partition
+	case "lg":
+		cfg.Kind, cfg.PartitionSegments = cleaner.Hybrid, 1
+	case "fifo":
+		cfg.Kind, cfg.PartitionSegments = cleaner.Hybrid, *segments-1
+	case "greedy":
+		cfg.Kind = cleaner.Greedy
+	default:
+		log.Printf("unknown policy %q", *policy)
+		os.Exit(2)
+	}
+
+	h, err := cleaner.NewHarness(geo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h.Load()
+	n := h.LogicalPages()
+	var gen workload.Generator
+	switch *kind {
+	case "bimodal":
+		gen = workload.NewBimodal(dist, n, *seed)
+	case "sequential":
+		gen = workload.NewSequential(n)
+	case "shifting":
+		gen = workload.NewShifting(n, dist.HotData, dist.HotAccess, 20*n, *seed)
+	default:
+		log.Printf("unknown workload %q", *kind)
+		os.Exit(2)
+	}
+	cost := h.RunGenerator(gen, *warm*n, *measure*n)
+	c := h.Counters()
+
+	fmt.Printf("array: %d segments x %d pages (%d KB), %d logical pages (80%% utilization)\n",
+		geo.Segments, geo.PagesPerSegment, geo.Capacity()>>10, n)
+	fmt.Printf("policy: %s", *policy)
+	if cfg.Kind == cleaner.Hybrid {
+		fmt.Printf(" (%d segments/partition, %d partitions)", cfg.PartitionSegments, h.Engine().Partitions())
+	}
+	fmt.Printf(", workload %s\n\n", gen)
+	fmt.Printf("cleaning cost:   %.3f cleaner programs per flushed page\n", cost)
+	fmt.Printf("flushes:         %d\n", c.Flushes)
+	fmt.Printf("segment cleans:  %d (%.1f flushes per clean)\n", c.SegmentCleans,
+		float64(c.Flushes)/float64(max64(c.SegmentCleans, 1)))
+	fmt.Printf("erases:          %d, wear swaps: %d\n", c.Erases, c.WearSwaps)
+	wmin, wmax := h.Array().WearSpread()
+	fmt.Printf("wear spread:     %d..%d erases per segment\n", wmin, wmax)
+
+	if err := h.Engine().CheckInvariants(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+	if err := h.CheckMapping(); err != nil {
+		log.Fatalf("mapping violation: %v", err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

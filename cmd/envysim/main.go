@@ -1,0 +1,122 @@
+// Command envysim runs the full-system eNVy simulation under the
+// TPC-A workload (§5) and prints the measured I/O rates, latencies,
+// controller breakdown, wear, and lifetime estimate.
+//
+// Example:
+//
+//	envysim -rate 8000 -seconds 1 -branches 2 -accounts 500
+//	envysim -paper -rate 30000 -seconds 2   # Figure 12 scale, ~2.5 GB RAM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/lifetime"
+	"envy/internal/sim"
+	"envy/internal/stats"
+	"envy/internal/tpca"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("envysim: ")
+
+	var (
+		paper     = flag.Bool("paper", false, "use the paper's full 2 GB configuration (Figure 12)")
+		rate      = flag.Float64("rate", 8000, "offered transaction rate (TPS)")
+		seconds   = flag.Float64("seconds", 1, "simulated seconds to measure")
+		warm      = flag.Float64("warm", 0.5, "simulated seconds of warm-up")
+		branches  = flag.Int("branches", 2, "TPC-A branches (ignored with -paper)")
+		accounts  = flag.Int("accounts", 500, "accounts per teller (ignored with -paper)")
+		policy    = flag.String("policy", "hybrid", "cleaning policy: hybrid, lg, fifo, greedy")
+		parallel  = flag.Int("parallel", 1, "concurrent bank programs (§6 extension)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Geometry:    flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 128, Banks: 8},
+		BufferPages: 2048,
+	}
+	tcfg := tpca.Config{Branches: *branches, AccountsPerTeller: *accounts, Seed: *seed, InitialBalance: 1000}
+	if *paper {
+		cfg.Geometry = flash.PaperGeometry()
+		cfg.BufferPages = 64 * 1024
+		tcfg.Branches = 128
+		tcfg.AccountsPerTeller = 10000
+	}
+	switch *policy {
+	case "hybrid":
+		cfg.Cleaning = cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16}
+	case "lg":
+		cfg.Cleaning = cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 1}
+	case "fifo":
+		cfg.Cleaning = cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: cfg.Geometry.Segments - 1}
+	case "greedy":
+		cfg.Cleaning = cleaner.Config{Kind: cleaner.Greedy}
+	default:
+		log.Printf("unknown policy %q", *policy)
+		os.Exit(2)
+	}
+	if *wearCheck {
+		cfg.Cleaning.WearThreshold = 100
+	}
+	cfg.ParallelFlush = *parallel
+
+	dev, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %d MB flash, %d segments, %s cleaning, buffer %d pages\n",
+		cfg.Geometry.Capacity()>>20, cfg.Geometry.Segments, *policy, dev.Config().BufferPages)
+
+	bank, err := tpca.Setup(dev, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	br, te, ac := bank.TreeHeights()
+	fmt.Printf("database: %d accounts, index depths branch=%d teller=%d account=%d\n",
+		bank.Accounts(), br, te, ac)
+
+	dr := tpca.NewDriver(bank)
+	if _, err := dr.Run(*rate, sim.Duration(*warm*1e9)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := dr.Run(*rate, sim.Duration(*seconds*1e9))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noffered %.0f TPS for %.2fs simulated\n", res.Offered, res.Duration.Seconds())
+	fmt.Printf("completed:        %d transactions (%.0f TPS)\n", res.Completed, res.TPS)
+	fmt.Printf("read latency:     mean %dns  p99 %dns\n", int64(res.ReadMean), int64(res.ReadP99))
+	fmt.Printf("write latency:    mean %dns  p99 %dns\n", int64(res.WriteMean), int64(res.WriteP99))
+	fmt.Printf("txn latency:      mean %.1fµs\n", res.TxnLatency.Mean().Micros())
+	fmt.Printf("flush rate:       %.0f pages/s, cleaning cost %.2f\n", res.FlushPagesPerSec, res.CleaningCost)
+	b := res.Breakdown
+	fmt.Printf("controller time:  read %.0f%%  write %.0f%%  flush %.0f%%  clean %.0f%%  erase %.0f%%  idle %.0f%%\n",
+		100*b.Fraction(stats.Reading), 100*b.Fraction(stats.Writing), 100*b.Fraction(stats.Flushing),
+		100*b.Fraction(stats.Cleaning), 100*b.Fraction(stats.Erasing), 100*b.Fraction(stats.Idle))
+	wmin, wmax := dev.Array().WearSpread()
+	fmt.Printf("wear:             %d..%d erases per segment (%d swaps)\n", wmin, wmax, res.Counters.WearSwaps)
+
+	est := lifetime.Estimate{
+		CapacityBytes: cfg.Geometry.Capacity(),
+		PageBytes:     cfg.Geometry.PageSize,
+		SpecCycles:    flash.PaperTiming().SpecCycles,
+		FlushRate:     res.FlushPagesPerSec,
+		CleaningCost:  res.CleaningCost,
+	}
+	fmt.Printf("%s\n", est)
+
+	if err := dev.CheckConsistency(); err != nil {
+		log.Fatalf("consistency check failed: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// Command experiments regenerates the tables and figures of the eNVy
+// paper's evaluation (§4–§5).
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [experiment ...]
+//
+// With no arguments every experiment runs. Individual experiments:
+// fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
+// breakdown, lifetime, parallel, ablations.
+//
+// The default small scale finishes in about a minute; -scale paper
+// runs the full 2 GB Figure 12 configuration and needs ~2.5 GB of
+// memory and substantially more time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"envy/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = experiments.Small()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := flag.Args()
+	all := len(want) == 0
+	selected := func(name string) bool {
+		if all {
+			return true
+		}
+		for _, w := range want {
+			if w == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	// Rate sweep serves both fig13 and fig15; run it once.
+	var rateSweep []experiments.RatePoint
+	needSweep := selected("fig13") || selected("fig15")
+
+	if selected("fig1") {
+		experiments.Fig1Table().Print(out)
+	}
+	if selected("fig6") {
+		rows, err := experiments.Fig6(sc)
+		if err != nil {
+			fail("fig6", err)
+		}
+		experiments.Fig6Table(rows).Print(out)
+	}
+	if selected("fig8") {
+		rows, err := experiments.Fig8(sc)
+		if err != nil {
+			fail("fig8", err)
+		}
+		experiments.Fig8Table(rows).Print(out)
+	}
+	if selected("fig9") {
+		rows, err := experiments.Fig9(sc)
+		if err != nil {
+			fail("fig9", err)
+		}
+		experiments.Fig9Table(rows).Print(out)
+	}
+	if selected("fig10") {
+		rows, err := experiments.Fig10(sc)
+		if err != nil {
+			fail("fig10", err)
+		}
+		experiments.Fig10Table(rows).Print(out)
+	}
+	if selected("fig12") {
+		experiments.Fig12Table(sc).Print(out)
+	}
+	if needSweep {
+		var err error
+		rateSweep, err = experiments.RateSweep(sc)
+		if err != nil {
+			fail("rate sweep", err)
+		}
+	}
+	if selected("fig13") {
+		experiments.Fig13Table(rateSweep).Print(out)
+	}
+	if selected("fig14") {
+		pts, labels, err := experiments.Fig14(sc)
+		if err != nil {
+			fail("fig14", err)
+		}
+		experiments.Fig14Table(pts, labels).Print(out)
+	}
+	if selected("fig15") {
+		experiments.Fig15Table(rateSweep).Print(out)
+	}
+	if selected("breakdown") {
+		r, err := experiments.Breakdown(sc)
+		if err != nil {
+			fail("breakdown", err)
+		}
+		experiments.BreakdownTable(r).Print(out)
+	}
+	if selected("lifetime") {
+		r, err := experiments.Lifetime(sc)
+		if err != nil {
+			fail("lifetime", err)
+		}
+		experiments.LifetimeTable(r).Print(out)
+	}
+	if selected("parallel") {
+		pts, err := experiments.Parallel(sc)
+		if err != nil {
+			fail("parallel", err)
+		}
+		experiments.ParallelTable(pts).Print(out)
+	}
+	if selected("ablations") {
+		rows, err := experiments.PolicyAblations(sc)
+		if err != nil {
+			fail("ablations", err)
+		}
+		experiments.AblationTable(rows).Print(out)
+	}
+}

@@ -1,0 +1,25 @@
+// Package envy is a production-quality reimplementation of eNVy, the
+// non-volatile main-memory storage system of Wu & Zwaenepoel (ASPLOS
+// 1994).
+//
+// eNVy presents a large Flash array as a flat, byte-addressable,
+// persistent memory with in-place update semantics. Flash itself is
+// write-once/bulk-erase, programs ~40× slower than it reads, and wears
+// out; eNVy hides all three behind copy-on-write into a battery-backed
+// SRAM write buffer, page remapping through an SRAM page table, and a
+// locality-aware cleaning (garbage collection) policy with even wear.
+//
+// # Quick start
+//
+//	dev, err := envy.New(envy.SmallConfig())
+//	if err != nil { ... }
+//	dev.Write([]byte("hello, persistent world"), 0)
+//	buf := make([]byte, 23)
+//	dev.Read(buf, 0)
+//
+// Every access is simulated on a nanosecond-resolution clock; Read and
+// Write report the host-observed latency, and Device.Stats exposes the
+// counters and controller time breakdown the paper's evaluation is
+// built from. The cmd/experiments tool regenerates every figure and
+// table of the paper's evaluation section; see EXPERIMENTS.md.
+package envy

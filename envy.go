@@ -1,0 +1,296 @@
+package envy
+
+import (
+	"fmt"
+	"time"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// Policy selects the Flash cleaning policy (§4 of the paper).
+type Policy int
+
+// Cleaning policies. HybridPolicy with PartitionSegments=1 is pure
+// locality gathering (§4.3); with PartitionSegments equal to the
+// segment count it degenerates to FIFO. GreedyPolicy always cleans the
+// most-invalidated segment (§4.2).
+const (
+	HybridPolicy Policy = iota
+	GreedyPolicy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case HybridPolicy:
+		return "hybrid"
+	case GreedyPolicy:
+		return "greedy"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config describes an eNVy device. Zero fields take the paper's
+// defaults (Figure 12) scaled to the geometry.
+type Config struct {
+	// Physical organization: Segments independently erasable segments
+	// of PagesPerSegment pages of PageSize bytes, striped over Banks
+	// banks of byte-wide chips.
+	PageSize        int
+	PagesPerSegment int
+	Segments        int
+	Banks           int
+
+	// Policy and its partition size (16 in the paper).
+	Policy            Policy
+	PartitionSegments int
+
+	// WearThreshold triggers a wear-leveling swap when the most-cycled
+	// segment exceeds the least-cycled by this many erases (100 in
+	// §4.3; 0 disables wear leveling).
+	WearThreshold int64
+
+	// UtilizationTarget caps live data as a fraction of the array
+	// (default 0.8, §4.1).
+	UtilizationTarget float64
+
+	// BufferPages is the battery-backed SRAM write buffer capacity
+	// (default: one segment's worth of pages, §5.1).
+	BufferPages int
+
+	// MMUEntries sizes the translation cache (default 4096; -1
+	// disables it).
+	MMUEntries int
+
+	// ParallelFlush enables the §6 extension: up to this many
+	// concurrent bank programs/erases (default 1 = off).
+	ParallelFlush int
+
+	// Dataless drops page payload storage for timing-only studies;
+	// reads return zeros.
+	Dataless bool
+}
+
+// PaperConfig returns the configuration simulated in the paper
+// (Figure 12): 2 GB of Flash in 128 segments of 16 MB across 8 banks,
+// 256-byte pages, a 16 MB write buffer, hybrid cleaning with
+// 16-segment partitions, and 100-cycle wear leveling.
+//
+// A device at this scale with payload storage allocates up to ~2 GB of
+// host memory (lazily, per segment); set Dataless for timing-only use.
+func PaperConfig() Config {
+	return Config{
+		PageSize:          256,
+		PagesPerSegment:   64 * 1024,
+		Segments:          128,
+		Banks:             8,
+		Policy:            HybridPolicy,
+		PartitionSegments: 16,
+		WearThreshold:     100,
+	}
+}
+
+// SmallConfig returns a laptop-friendly profile with the same shape as
+// the paper system — 128 segments, 8 banks, 256-byte pages, hybrid-16
+// cleaning — at 1/256 the capacity (8 MB).
+func SmallConfig() Config {
+	return Config{
+		PageSize:          256,
+		PagesPerSegment:   256,
+		Segments:          128,
+		Banks:             8,
+		Policy:            HybridPolicy,
+		PartitionSegments: 16,
+		WearThreshold:     100,
+		// At full scale the one-segment default buffer is 16 MB and
+		// absorbs a 50 ms erase's worth of write traffic; a scaled
+		// device needs proportionally more than one (small) segment.
+		BufferPages: 2048,
+	}
+}
+
+func (c Config) coreConfig() core.Config {
+	kind := cleaner.Hybrid
+	if c.Policy == GreedyPolicy {
+		kind = cleaner.Greedy
+	}
+	return core.Config{
+		Geometry: flash.Geometry{
+			PageSize:        c.PageSize,
+			PagesPerSegment: c.PagesPerSegment,
+			Segments:        c.Segments,
+			Banks:           c.Banks,
+		},
+		Cleaning: cleaner.Config{
+			Kind:              kind,
+			PartitionSegments: c.PartitionSegments,
+			WearThreshold:     c.WearThreshold,
+		},
+		UtilizationTarget: c.UtilizationTarget,
+		BufferPages:       c.BufferPages,
+		MMUEntries:        c.MMUEntries,
+		ParallelFlush:     c.ParallelFlush,
+		Dataless:          c.Dataless,
+	}
+}
+
+// Device is a simulated eNVy storage system: a flat, persistent,
+// byte-addressable memory. It is not safe for concurrent use — the
+// host memory bus serializes accesses, as in the hardware.
+type Device struct {
+	d *core.Device
+}
+
+// New builds a device. Missing Config fields default to the paper's
+// parameters.
+func New(cfg Config) (*Device, error) {
+	d, err := core.New(cfg.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Device{d: d}, nil
+}
+
+// Size returns the logical capacity in bytes (80% of the physical
+// array by default).
+func (dev *Device) Size() int64 { return dev.d.Size() }
+
+// Now returns the current simulated time since device start.
+func (dev *Device) Now() time.Duration { return time.Duration(dev.d.Now()) }
+
+// Idle advances the simulated clock by d with the host idle, letting
+// background flushing, cleaning, and erasing make progress.
+func (dev *Device) Idle(d time.Duration) {
+	dev.d.AdvanceTo(dev.d.Now().Add(sim.Duration(d)))
+}
+
+// ReadWord reads the 32-bit word at a 4-byte-aligned address and
+// returns it with the host-observed latency.
+func (dev *Device) ReadWord(addr uint64) (uint32, time.Duration) {
+	v, lat := dev.d.ReadWord(addr)
+	return v, time.Duration(lat)
+}
+
+// WriteWord stores a 32-bit word and returns the host-observed latency.
+func (dev *Device) WriteWord(addr uint64, v uint32) time.Duration {
+	return time.Duration(dev.d.WriteWord(addr, v))
+}
+
+// Read fills p from addr, one word-sized host access at a time, and
+// returns the cumulative latency.
+func (dev *Device) Read(p []byte, addr uint64) time.Duration {
+	return time.Duration(dev.d.Read(p, addr))
+}
+
+// Write stores p at addr, one word-sized host access at a time, and
+// returns the cumulative latency.
+func (dev *Device) Write(p []byte, addr uint64) time.Duration {
+	return time.Duration(dev.d.Write(p, addr))
+}
+
+// Preload installs initial contents directly into Flash, bypassing the
+// write buffer and the simulated clock (a restore/format pass).
+func (dev *Device) Preload(data []byte, addr uint64) error {
+	return dev.d.Preload(data, addr)
+}
+
+// PowerCycle simulates a power failure and recovery: all data and
+// mapping state survive (Flash + battery-backed SRAM); the volatile
+// translation cache is lost.
+func (dev *Device) PowerCycle() { dev.d.PowerCycle() }
+
+// Begin opens a hardware atomic transaction (§6). Writes until Commit
+// or Rollback keep their pre-transaction versions as shadow copies.
+func (dev *Device) Begin() error { return dev.d.BeginTransaction() }
+
+// Commit makes the open transaction's writes permanent.
+func (dev *Device) Commit() error { return dev.d.Commit() }
+
+// Rollback restores every page written during the open transaction.
+func (dev *Device) Rollback() error { return dev.d.Rollback() }
+
+// Stats is a point-in-time snapshot of the device's measurements.
+type Stats struct {
+	// Host-observed latency distributions.
+	ReadMean, WriteMean time.Duration
+	ReadP99, WriteP99   time.Duration
+	ReadMax, WriteMax   time.Duration
+	Reads, Writes       int64
+
+	// Flash-level operation counts.
+	CopyOnWrites  int64
+	BufferHits    int64
+	Flushes       int64
+	CleanCopies   int64
+	SegmentCleans int64
+	Erases        int64
+	WearSwaps     int64
+
+	// CleaningCost is cleaner programs per flushed page (§4.1).
+	CleaningCost float64
+
+	// Controller time fractions (of total elapsed time, §5.3).
+	FracIdle, FracReading, FracWriting    float64
+	FracFlushing, FracCleaning, FracErase float64
+
+	// MMUHitRate is the translation cache hit rate.
+	MMUHitRate float64
+
+	// Wear spread across segments (erase cycles).
+	WearMin, WearMax int64
+
+	// BufferedPages is the current write-buffer occupancy.
+	BufferedPages int
+}
+
+// Stats returns the current measurement snapshot.
+func (dev *Device) Stats() Stats {
+	c := dev.d.Counters()
+	b := dev.d.Breakdown()
+	rl, wl := dev.d.ReadLatency(), dev.d.WriteLatency()
+	wmin, wmax := dev.d.Array().WearSpread()
+	return Stats{
+		ReadMean:      time.Duration(rl.Mean()),
+		WriteMean:     time.Duration(wl.Mean()),
+		ReadP99:       time.Duration(rl.Percentile(99)),
+		WriteP99:      time.Duration(wl.Percentile(99)),
+		ReadMax:       time.Duration(rl.Max()),
+		WriteMax:      time.Duration(wl.Max()),
+		Reads:         c.HostReads,
+		Writes:        c.HostWrites,
+		CopyOnWrites:  c.CopyOnWrites,
+		BufferHits:    c.BufferHits,
+		Flushes:       c.Flushes,
+		CleanCopies:   c.CleanCopies,
+		SegmentCleans: c.SegmentCleans,
+		Erases:        c.Erases,
+		WearSwaps:     c.WearSwaps,
+		CleaningCost:  c.CleaningCost(),
+		FracIdle:      b.Fraction(stats.Idle),
+		FracReading:   b.Fraction(stats.Reading),
+		FracWriting:   b.Fraction(stats.Writing),
+		FracFlushing:  b.Fraction(stats.Flushing),
+		FracCleaning:  b.Fraction(stats.Cleaning),
+		FracErase:     b.Fraction(stats.Erasing),
+		MMUHitRate:    dev.d.MMUHitRate(),
+		WearMin:       wmin,
+		WearMax:       wmax,
+		BufferedPages: dev.d.BufferLen(),
+	}
+}
+
+// ResetStats zeroes all measurements (typically after warm-up).
+func (dev *Device) ResetStats() { dev.d.ResetStats() }
+
+// CheckConsistency verifies the device's internal invariants and
+// returns the first violation, or nil. Intended for tests and
+// validation harnesses.
+func (dev *Device) CheckConsistency() error { return dev.d.CheckConsistency() }
+
+// Core exposes the underlying controller for advanced instrumentation
+// (benchmark harnesses inside this module). External users should not
+// need it.
+func (dev *Device) Core() *core.Device { return dev.d }

@@ -1,0 +1,149 @@
+package envy_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"envy"
+)
+
+func newSmall(t *testing.T) *envy.Device {
+	t.Helper()
+	dev, err := envy.New(envy.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	cfg := envy.PaperConfig()
+	if cfg.Segments != 128 || cfg.PageSize != 256 || cfg.Banks != 8 {
+		t.Errorf("paper config = %+v", cfg)
+	}
+	if int64(cfg.PageSize)*int64(cfg.PagesPerSegment)*int64(cfg.Segments) != 2<<30 {
+		t.Error("paper config is not 2 GB")
+	}
+}
+
+func TestSmallDeviceBasics(t *testing.T) {
+	dev := newSmall(t)
+	if dev.Size() <= 0 {
+		t.Fatal("no capacity")
+	}
+	lat := dev.WriteWord(0, 42)
+	if lat <= 0 {
+		t.Error("write latency not positive")
+	}
+	v, lat := dev.ReadWord(0)
+	if v != 42 || lat <= 0 {
+		t.Errorf("read = %d, %v", v, lat)
+	}
+	if dev.Now() <= 0 {
+		t.Error("clock did not advance")
+	}
+}
+
+func TestBulkRoundTripAndPersistence(t *testing.T) {
+	dev := newSmall(t)
+	data := bytes.Repeat([]byte("envy"), 1000)
+	dev.Write(data, 12345*4)
+	dev.Idle(time.Second)
+	dev.PowerCycle()
+	got := make([]byte, len(data))
+	dev.Read(got, 12345*4)
+	if !bytes.Equal(got, data) {
+		t.Error("data lost")
+	}
+}
+
+func TestPreloadPublic(t *testing.T) {
+	dev := newSmall(t)
+	if err := dev.Preload([]byte{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := dev.ReadWord(0)
+	if v != 0x04030201 {
+		t.Errorf("preloaded word = %#x", v)
+	}
+}
+
+func TestTransactionsPublic(t *testing.T) {
+	dev := newSmall(t)
+	dev.WriteWord(0, 1)
+	dev.Idle(500 * time.Millisecond)
+	if err := dev.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteWord(0, 2)
+	if err := dev.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dev.ReadWord(0); v != 1 {
+		t.Errorf("after rollback: %d", v)
+	}
+	if err := dev.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteWord(0, 3)
+	if err := dev.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dev.ReadWord(0); v != 3 {
+		t.Errorf("after commit: %d", v)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	dev := newSmall(t)
+	for i := 0; i < 5000; i++ {
+		dev.WriteWord(uint64(i%4000)*256, uint32(i))
+	}
+	dev.Idle(2 * time.Second)
+	s := dev.Stats()
+	if s.Writes != 5000 {
+		t.Errorf("writes = %d", s.Writes)
+	}
+	if s.CopyOnWrites == 0 || s.Flushes == 0 {
+		t.Errorf("stats look empty: %+v", s)
+	}
+	if s.FracIdle <= 0 {
+		t.Error("no idle fraction recorded")
+	}
+	dev.ResetStats()
+	if got := dev.Stats(); got.Writes != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if envy.HybridPolicy.String() != "hybrid" || envy.GreedyPolicy.String() != "greedy" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestGreedyPolicyDevice(t *testing.T) {
+	cfg := envy.SmallConfig()
+	cfg.Policy = envy.GreedyPolicy
+	dev, err := envy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		dev.WriteWord(uint64(i%8000)*256, uint32(i))
+		if i%64 == 0 {
+			dev.Idle(time.Millisecond)
+		}
+	}
+	dev.Idle(2 * time.Second)
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := envy.New(envy.Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Kvstore: a small persistent key-value store built directly on the
+// eNVy public API — the kind of application §1 argues for: "word-sized
+// reads and writes, just as with conventional memory... no need to be
+// concerned with disk block boundaries... or specialized disk save
+// formats". The store is a fixed-size open-addressing hash table whose
+// slots live in device memory; multi-slot updates use §6 hardware
+// transactions so a crash mid-update can never corrupt the table.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"envy"
+)
+
+const (
+	slots     = 4096
+	keyBytes  = 24
+	valBytes  = 32
+	slotBytes = 8 + keyBytes + valBytes // hash+flags header, key, value
+)
+
+type store struct {
+	dev  *envy.Device
+	base uint64
+}
+
+func fnv(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func (s *store) slotAddr(i uint64) uint64 { return s.base + i*slotBytes }
+
+// readHeader returns the stored hash of slot i (0 = empty).
+func (s *store) readHeader(i uint64) uint64 {
+	var b [8]byte
+	s.dev.Read(b[:], s.slotAddr(i))
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *store) readKey(i uint64) string {
+	var b [keyBytes]byte
+	s.dev.Read(b[:], s.slotAddr(i)+8)
+	n := 0
+	for n < keyBytes && b[n] != 0 {
+		n++
+	}
+	return string(b[:n])
+}
+
+// Put inserts or overwrites a key atomically.
+func (s *store) Put(key, value string) error {
+	if len(key) == 0 || len(key) > keyBytes || len(value) > valBytes {
+		return fmt.Errorf("kv: bad key/value size")
+	}
+	h := fnv(key)
+	if err := s.dev.Begin(); err != nil {
+		return err
+	}
+	for probe := uint64(0); probe < slots; probe++ {
+		i := (h + probe) % slots
+		stored := s.readHeader(i)
+		if stored != 0 && !(stored == h && s.readKey(i) == key) {
+			continue
+		}
+		var rec [slotBytes]byte
+		binary.LittleEndian.PutUint64(rec[:], h)
+		copy(rec[8:], key)
+		copy(rec[8+keyBytes:], value)
+		s.dev.Write(rec[:], s.slotAddr(i))
+		return s.dev.Commit()
+	}
+	s.dev.Rollback()
+	return fmt.Errorf("kv: table full")
+}
+
+// Get looks a key up.
+func (s *store) Get(key string) (string, bool) {
+	h := fnv(key)
+	for probe := uint64(0); probe < slots; probe++ {
+		i := (h + probe) % slots
+		stored := s.readHeader(i)
+		if stored == 0 {
+			return "", false
+		}
+		if stored == h && s.readKey(i) == key {
+			var b [valBytes]byte
+			s.dev.Read(b[:], s.slotAddr(i)+8+keyBytes)
+			n := 0
+			for n < valBytes && b[n] != 0 {
+				n++
+			}
+			return string(b[:n]), true
+		}
+	}
+	return "", false
+}
+
+func main() {
+	dev, err := envy.New(envy.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := &store{dev: dev}
+
+	for i := 0; i < 1000; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("value %d", i*i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	kv.Put("paper", "ASPLOS 1994")
+	kv.Put("paper", "Wu & Zwaenepoel, ASPLOS 1994") // overwrite
+
+	// An update that fails mid-way rolls back cleanly.
+	if err := dev.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	var rec [slotBytes]byte // simulate a torn write: garbage header
+	for i := range rec {
+		rec[i] = 0xEE
+	}
+	dev.Write(rec[:], kv.slotAddr(fnv("paper")%slots))
+	dev.Rollback()
+
+	dev.PowerCycle() // everything persists
+
+	v, ok := kv.Get("paper")
+	fmt.Printf("paper -> %q (found=%v)\n", v, ok)
+	v, _ = kv.Get("key-0042")
+	fmt.Printf("key-0042 -> %q\n", v)
+	if _, ok := kv.Get("missing"); ok {
+		log.Fatal("found a key that was never stored")
+	}
+
+	st := dev.Stats()
+	fmt.Printf("\n%d reads (mean %v), %d writes (mean %v), %d pages flushed\n",
+		st.Reads, st.ReadMean, st.Writes, st.WriteMean, st.Flushes)
+	if err := dev.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consistency check passed")
+}

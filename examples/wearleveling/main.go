@@ -1,0 +1,90 @@
+// Wearleveling: Flash wears out — §4.3's even-wearing rule keeps a
+// skewed workload from burning out the segments that hold hot data.
+//
+// The example hammers 5% of a small array with 98% of the writes,
+// with and without the 100-cycle wear-leveling rule, and compares the
+// per-segment erase-cycle spread.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"envy"
+)
+
+func run(wearThreshold int64) envy.Stats {
+	dev, err := envy.New(envy.Config{
+		PageSize:          256,
+		PagesPerSegment:   128,
+		Segments:          32,
+		Banks:             8,
+		Policy:            envy.HybridPolicy,
+		PartitionSegments: 4,
+		WearThreshold:     wearThreshold,
+		BufferPages:       128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pages := uint64(dev.Size()) / 256
+
+	// Fill the device once so every logical page exists.
+	zero := make([]byte, 256)
+	for p := uint64(0); p < pages; p++ {
+		if err := dev.Preload(zero, p*256); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dev.ResetStats()
+
+	// 98% of writes to the first 5% of pages — more hot pages than
+	// write-buffer frames, so the traffic reaches Flash.
+	hot := pages / 20
+	var rng uint64 = 42
+	next := func() uint64 { // xorshift
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 500_000; i++ {
+		var page uint64
+		if next()%100 < 98 {
+			page = next() % hot
+		} else {
+			page = next() % pages
+		}
+		dev.WriteWord(page*256, uint32(i))
+		if i%16 == 0 {
+			dev.Idle(1_000_000) // drip idle time so flushing keeps up
+		}
+	}
+	dev.Idle(2_000_000_000)
+	if err := dev.CheckConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	return dev.Stats()
+}
+
+func main() {
+	fmt.Println("workload: 98% of writes to 5% of pages (500k writes)")
+
+	off := run(0)
+	fmt.Printf("\nwithout wear leveling:\n")
+	fmt.Printf("  erase cycles per segment: min %d, max %d (spread %d)\n",
+		off.WearMin, off.WearMax, off.WearMax-off.WearMin)
+	fmt.Printf("  wear swaps: %d\n", off.WearSwaps)
+
+	// The paper's threshold is 100 cycles over a 10-year horizon; this
+	// demo runs for seconds, so a tighter threshold shows the same
+	// mechanism at demo scale.
+	on := run(20)
+	fmt.Printf("\nwith a 20-cycle wear-leveling rule:\n")
+	fmt.Printf("  erase cycles per segment: min %d, max %d (spread %d)\n",
+		on.WearMin, on.WearMax, on.WearMax-on.WearMin)
+	fmt.Printf("  wear swaps: %d\n", on.WearSwaps)
+
+	fmt.Printf("\nthe array's lifetime is set by its most-worn segment:\n")
+	fmt.Printf("  max wear without leveling %d vs with %d\n", off.WearMax, on.WearMax)
+}

@@ -1,0 +1,3 @@
+module envy
+
+go 1.22

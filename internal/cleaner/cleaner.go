@@ -1,0 +1,500 @@
+// Package cleaner implements eNVy's Flash space reclamation (§3.4, §4):
+// choosing where flushed pages land, which segments to clean, how live
+// data is redistributed to exploit locality, and how wear is leveled.
+//
+// Two policy families are provided:
+//
+//   - Greedy (§4.2): one global active segment accepts all flushes;
+//     when it fills, the segment with the most invalidated space is
+//     cleaned and becomes the new active segment.
+//
+//   - Hybrid (§4.4): segments are grouped into partitions. Locality
+//     gathering (§4.3) manages data *between* partitions — each page is
+//     flushed back to its home partition, and partitions shed data to
+//     neighbors to equalize (cleaning frequency × cleaning cost) — while
+//     segments *within* a partition are cleaned in FIFO order. The
+//     paper's pure policies are the ends of the partition-size spectrum:
+//     PartitionSegments=1 is pure locality gathering and
+//     PartitionSegments=Segments is pure FIFO.
+//
+// The engine mutates the Flash array eagerly and returns the work it
+// performed as an ordered list of Steps; the timed controller plays the
+// steps out on the simulated clock (where they are preemptible long
+// operations), and untimed policy studies simply count them.
+package cleaner
+
+import (
+	"fmt"
+
+	"envy/internal/flash"
+	"envy/internal/stats"
+)
+
+// Kind selects the cleaning policy family.
+type Kind int
+
+// Policy families. Hybrid covers the paper's locality-gathering and
+// FIFO policies via PartitionSegments (1 and Segments respectively).
+const (
+	Greedy Kind = iota
+	Hybrid
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Greedy:
+		return "greedy"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config parameterizes the cleaning engine.
+type Config struct {
+	Kind Kind
+
+	// PartitionSegments is the number of adjoining segments per
+	// partition for the Hybrid policy (k in §4.4; 16 in the paper's
+	// simulated system). The initially spare segment is left out of
+	// the partitioning, so one partition may hold k-1 segments.
+	PartitionSegments int
+
+	// LogicalPages is the size of the logical address space in pages.
+	// The paper caps it at 80% of the physical array (§4.1).
+	LogicalPages int
+
+	// WearThreshold is the erase-cycle spread that triggers a
+	// wear-leveling swap (100 in §4.3). Zero disables wear leveling.
+	WearThreshold int64
+
+	// MoveQuantum bounds how many pages one redistribution step may
+	// move between partitions. Zero selects a default of 1/16 of a
+	// segment.
+	MoveQuantum int
+
+	// ProductSlack is the relative margin by which a partition's
+	// frequency×cost product must exceed the average before it sheds
+	// data (default 0.4 — wide enough that estimation noise under a
+	// uniform workload does not cause spurious data movement, which
+	// would break the paper's "fixed cleaning cost of 4" property).
+	ProductSlack float64
+
+	// RateDecay is the per-flush exponential decay applied to
+	// per-partition flush-rate estimates (default 0.99995, an
+	// effective window of ~20k flushes).
+	RateDecay float64
+
+	// MinShedUtilization stops a partition from shedding data once its
+	// utilization falls to this level (default 0.55). Below roughly
+	// half-full, FIFO cleaning within the partition is already nearly
+	// free, and further shedding only exports the partition's hot
+	// working set — whose write traffic follows it into colder
+	// partitions and defeats the locality gathering.
+	MinShedUtilization float64
+
+	// NoRedistribute disables inter-partition data movement, leaving
+	// only flush-back-to-home and FIFO-within-partition. Used by the
+	// ablation benchmarks.
+	NoRedistribute bool
+}
+
+// StepKind identifies one unit of cleaning work.
+type StepKind int
+
+// Cleaning work kinds. Copies are page read+program pairs charged at
+// the destination segment's program time; erases are charged at the
+// victim's erase time.
+const (
+	StepCopy StepKind = iota
+	StepErase
+)
+
+func (k StepKind) String() string {
+	if k == StepCopy {
+		return "copy"
+	}
+	return "erase"
+}
+
+// Step records work the engine performed: Pages copies into Seg, or an
+// erase of Seg.
+type Step struct {
+	Kind  StepKind
+	Seg   int
+	Pages int // number of page programs for StepCopy; 0 for StepErase
+}
+
+// partition is the locality-gathering unit: an ordered FIFO of member
+// segments (index 0 = oldest, last = active) plus a decayed write-rate
+// estimate.
+type partition struct {
+	segs    []int
+	rate    float64 // decayed count of flushes into this partition
+	lastSeq int64   // flush sequence number rate was last decayed to
+	cleans  int64
+
+	// Decayed observed cleaning work: live pages copied and free pages
+	// recovered by this partition's recent cleans. Their ratio is the
+	// partition's actual per-flush cleaning cost, which gates shedding.
+	costCopies    float64
+	costRecovered float64
+}
+
+// Engine owns Flash space management. It is not safe for concurrent
+// use.
+type Engine struct {
+	arr      *flash.Array
+	cfg      Config
+	remap    func(logical, oldPPN, newPPN uint32)
+	counters *stats.Counters
+
+	spare  int   // the always-erased segment (§3.4)
+	partOf []int // physical segment -> partition index; -1 for the spare
+
+	parts    []partition
+	flushSeq int64 // total flushes, for lazy rate decay
+
+	lastWearCleans int64   // SegmentCleans at the last wear swap (rate limiter)
+	wearMark       []int64 // per-segment erase count when last wear-swapped
+
+	// Greedy state.
+	active int // segment accepting flushes
+
+	work []Step // scratch accumulator for the current operation
+}
+
+// New returns an engine managing arr. remap is invoked whenever the
+// engine relocates a live logical page from oldPPN to newPPN (the
+// controller updates its page table, MMU, or shadow records there);
+// counters receives operation counts.
+func New(arr *flash.Array, cfg Config, remap func(logical, oldPPN, newPPN uint32), counters *stats.Counters) (*Engine, error) {
+	geo := arr.Geometry()
+	if cfg.LogicalPages <= 0 {
+		return nil, fmt.Errorf("cleaner: LogicalPages must be positive, got %d", cfg.LogicalPages)
+	}
+	if cfg.LogicalPages > (geo.Segments-1)*geo.PagesPerSegment {
+		return nil, fmt.Errorf("cleaner: %d logical pages cannot fit in %d segments with one spare",
+			cfg.LogicalPages, geo.Segments)
+	}
+	if cfg.MoveQuantum <= 0 {
+		cfg.MoveQuantum = geo.PagesPerSegment / 16
+		if cfg.MoveQuantum < 1 {
+			cfg.MoveQuantum = 1
+		}
+	}
+	if cfg.ProductSlack == 0 {
+		cfg.ProductSlack = 0.4
+	}
+	if cfg.RateDecay == 0 {
+		cfg.RateDecay = 0.99995
+	}
+	if cfg.MinShedUtilization == 0 {
+		cfg.MinShedUtilization = 0.55
+	}
+	e := &Engine{
+		arr:      arr,
+		cfg:      cfg,
+		remap:    remap,
+		counters: counters,
+		spare:    geo.Segments - 1,
+		partOf:   make([]int, geo.Segments),
+		wearMark: make([]int64, geo.Segments),
+	}
+	switch cfg.Kind {
+	case Greedy:
+		e.active = 0
+		for i := range e.partOf {
+			e.partOf[i] = 0
+		}
+		e.partOf[e.spare] = -1
+	case Hybrid:
+		k := cfg.PartitionSegments
+		if k <= 0 {
+			return nil, fmt.Errorf("cleaner: hybrid policy needs PartitionSegments > 0, got %d", k)
+		}
+		if k > geo.Segments-1 {
+			k = geo.Segments - 1
+			cfg.PartitionSegments = k
+			e.cfg.PartitionSegments = k
+		}
+		nParts := (geo.Segments - 1 + k - 1) / k
+		e.parts = make([]partition, nParts)
+		seg := 0
+		for p := range e.parts {
+			for j := 0; j < k && seg < geo.Segments-1; j++ {
+				e.parts[p].segs = append(e.parts[p].segs, seg)
+				e.partOf[seg] = p
+				seg++
+			}
+		}
+		e.partOf[e.spare] = -1
+	default:
+		return nil, fmt.Errorf("cleaner: unknown policy kind %d", int(cfg.Kind))
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration (with defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Spare returns the currently reserved erased segment.
+func (e *Engine) Spare() int { return e.spare }
+
+// Partitions returns the number of locality-gathering partitions (1 for
+// Greedy, which has no partitions).
+func (e *Engine) Partitions() int {
+	if e.cfg.Kind == Greedy {
+		return 1
+	}
+	return len(e.parts)
+}
+
+// PartitionOf returns the partition a physical segment belongs to, or
+// -1 for the spare segment.
+func (e *Engine) PartitionOf(seg int) int { return e.partOf[seg] }
+
+// Home returns the home tag to record when a logical page enters the
+// SRAM write buffer: the partition that currently holds (or should
+// hold) the page. ppnValid reports whether the page has a Flash copy at
+// ppn; unmapped pages get their initial layout position.
+func (e *Engine) Home(logical uint32, ppnValid bool, ppn uint32) int {
+	if e.cfg.Kind == Greedy {
+		return 0
+	}
+	if ppnValid {
+		seg, _ := e.arr.Geometry().Split(ppn)
+		if p := e.partOf[seg]; p >= 0 {
+			return p
+		}
+		// The page sits in the segment that just became the spare —
+		// possible only transiently; fall through to layout position.
+	}
+	return e.initialHome(logical)
+}
+
+// initialHome spreads the logical address space contiguously across
+// partitions, mirroring a linear initial data layout.
+func (e *Engine) initialHome(logical uint32) int {
+	n := len(e.parts)
+	h := int(int64(logical) * int64(n) / int64(e.cfg.LogicalPages))
+	if h >= n {
+		h = n - 1
+	}
+	return h
+}
+
+// Flush programs one page from the write buffer into Flash, cleaning
+// first if the policy's target segment has no free space. It returns
+// the physical page chosen and the cleaning work performed (not
+// including the flush program itself, which the caller charges
+// separately — the cleaning-cost metric excludes the initial flush,
+// §4.1). The payload may be nil for dataless arrays.
+func (e *Engine) Flush(logical uint32, home int, payload []byte) (ppn uint32, work []Step) {
+	e.work = e.work[:0]
+	// Wear leveling runs before placement: a swap relocates live pages
+	// (remapping them via the callback), and doing it first keeps the
+	// returned physical page authoritative for the page being flushed.
+	e.maybeLevelWear()
+	var seg int
+	if e.cfg.Kind == Greedy {
+		seg = e.flushTargetGreedy()
+	} else {
+		seg = e.flushTargetHybrid(home)
+	}
+	page := e.nextFree(seg)
+	ppn = e.arr.Geometry().PPN(seg, page)
+	e.arr.Program(ppn, logical, payload)
+	e.counters.Flushes++
+	if e.cfg.Kind == Hybrid {
+		e.noteFlush(e.partOf[seg])
+	}
+	return ppn, e.work
+}
+
+// nextFree returns the first free page index in a segment. Allocation
+// is append-only (§3.4: flushed data fills the space after the live
+// cluster), so free pages form a suffix.
+func (e *Engine) nextFree(seg int) int {
+	free, _, _ := e.arr.SegmentCounts(seg)
+	if free == 0 {
+		panic(fmt.Sprintf("cleaner: segment %d has no free pages after cleaning", seg))
+	}
+	return e.arr.Geometry().PagesPerSegment - free
+}
+
+func (e *Engine) freePages(seg int) int {
+	free, _, _ := e.arr.SegmentCounts(seg)
+	return free
+}
+
+// flushTargetGreedy returns the active segment, cleaning the
+// most-invalidated segment when the active one fills (§4.2). While the
+// array is still filling (initial load), completely empty segments are
+// promoted to active instead of cleaning.
+func (e *Engine) flushTargetGreedy() int {
+	if e.freePages(e.active) > 0 {
+		return e.active
+	}
+	if empty := e.emptySegment(); empty >= 0 {
+		e.active = empty
+		return e.active
+	}
+	victim := e.greedyVictim()
+	dest := e.cleanSegment(victim)
+	e.active = dest
+	if e.freePages(dest) == 0 {
+		// The victim was fully live; cleaning recovered nothing. With
+		// the ≤80% utilization cap this cannot happen unless the
+		// caller overfilled the array.
+		panic("cleaner: greedy cleaning recovered no space (array overfull)")
+	}
+	return e.active
+}
+
+// emptySegment returns a non-spare segment with no data at all, or -1.
+func (e *Engine) emptySegment() int {
+	geo := e.arr.Geometry()
+	for seg := 0; seg < geo.Segments; seg++ {
+		if seg == e.spare {
+			continue
+		}
+		free, _, _ := e.arr.SegmentCounts(seg)
+		if free == geo.PagesPerSegment {
+			return seg
+		}
+	}
+	return -1
+}
+
+func (e *Engine) greedyVictim() int {
+	best, bestInvalid := -1, -1
+	for seg := 0; seg < e.arr.Geometry().Segments; seg++ {
+		if seg == e.spare {
+			continue
+		}
+		_, _, invalid := e.arr.SegmentCounts(seg)
+		if invalid > bestInvalid {
+			best, bestInvalid = seg, invalid
+		}
+	}
+	return best
+}
+
+// flushTargetHybrid returns the home partition's active segment,
+// cleaning the partition's oldest segment (FIFO, §4.4) when full.
+func (e *Engine) flushTargetHybrid(home int) int {
+	if home < 0 || home >= len(e.parts) {
+		panic(fmt.Sprintf("cleaner: flush with home partition %d out of range [0,%d)", home, len(e.parts)))
+	}
+	p := &e.parts[home]
+	active := p.segs[len(p.segs)-1]
+	if e.freePages(active) > 0 {
+		return active
+	}
+	// While the partition is still filling (initial load), promote a
+	// completely empty member to active rather than cleaning.
+	geo := e.arr.Geometry()
+	for i, seg := range p.segs[:len(p.segs)-1] {
+		free, _, _ := e.arr.SegmentCounts(seg)
+		if free == geo.PagesPerSegment {
+			copy(p.segs[i:], p.segs[i+1:])
+			p.segs[len(p.segs)-1] = seg
+			return seg
+		}
+	}
+	// Clean segments in FIFO order until space is recovered, at most
+	// one pass over the partition.
+	for range p.segs {
+		victim := p.segs[0]
+		if _, live, _ := e.arr.SegmentCounts(victim); live == geo.PagesPerSegment {
+			// A fully live victim recovers no space; cleaning it would
+			// copy a whole segment for nothing. Rotate it to the tail
+			// and try the next-oldest instead.
+			copy(p.segs, p.segs[1:])
+			p.segs[len(p.segs)-1] = victim
+			continue
+		}
+		_, liveBefore, _ := e.arr.SegmentCounts(victim)
+		dest := e.cleanSegment(victim)
+		// The destination joins the partition as the newest segment;
+		// the erased victim became the spare and leaves the partition.
+		copy(p.segs, p.segs[1:])
+		p.segs[len(p.segs)-1] = dest
+		e.partOf[dest] = home
+		p.cleans++
+		p.costCopies = 0.9*p.costCopies + float64(liveBefore)
+		p.costRecovered = 0.9*p.costRecovered + float64(geo.PagesPerSegment-liveBefore)
+		e.redistribute(home, dest)
+		if active := p.segs[len(p.segs)-1]; e.freePages(active) > 0 {
+			return active
+		}
+	}
+	// The whole partition is live: shed the incoming page itself to
+	// the nearest partition with room (redistribution drains the
+	// overfull partition across its next cleans).
+	if seg := e.nearestWithSpace(home); seg >= 0 {
+		return seg
+	}
+	panic("cleaner: no free space anywhere (array overfull)")
+}
+
+// nearestWithSpace finds the partition closest to home whose active
+// segment can accept a flush (promoting a completely empty member to
+// active if needed), and returns that segment, or -1 if the whole
+// array is out of free pages.
+func (e *Engine) nearestWithSpace(home int) int {
+	geo := e.arr.Geometry()
+	for dist := 1; dist < len(e.parts); dist++ {
+		for _, idx := range []int{home + dist, home - dist} {
+			if idx < 0 || idx >= len(e.parts) {
+				continue
+			}
+			p := &e.parts[idx]
+			if active := p.segs[len(p.segs)-1]; e.freePages(active) > 0 {
+				return active
+			}
+			for i, seg := range p.segs[:len(p.segs)-1] {
+				free, _, _ := e.arr.SegmentCounts(seg)
+				if free == geo.PagesPerSegment {
+					copy(p.segs[i:], p.segs[i+1:])
+					p.segs[len(p.segs)-1] = seg
+					return seg
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// cleanSegment copies victim's live pages (in physical order, which
+// locality gathering relies on — §4.3) into the spare segment, erases
+// the victim, and makes it the new spare. Returns the destination
+// segment now holding the live cluster.
+func (e *Engine) cleanSegment(victim int) (dest int) {
+	dest = e.spare
+	geo := e.arr.Geometry()
+	if e.freePages(dest) != geo.PagesPerSegment {
+		panic(fmt.Sprintf("cleaner: spare segment %d is not erased", dest))
+	}
+	moved := 0
+	e.arr.LivePages(victim, func(page int, logical uint32) {
+		oldPPN := geo.PPN(victim, page)
+		newPPN := geo.PPN(dest, moved)
+		e.arr.Program(newPPN, logical, e.arr.Page(oldPPN))
+		e.arr.Invalidate(oldPPN)
+		e.remap(logical, oldPPN, newPPN)
+		moved++
+	})
+	if moved > 0 {
+		e.counters.CleanCopies += int64(moved)
+		e.work = append(e.work, Step{Kind: StepCopy, Seg: dest, Pages: moved})
+	}
+	e.arr.Erase(victim)
+	e.counters.SegmentCleans++
+	e.counters.Erases++
+	e.work = append(e.work, Step{Kind: StepErase, Seg: victim})
+	e.spare = victim
+	e.partOf[victim] = -1
+	return dest
+}

@@ -1,0 +1,68 @@
+package cleaner
+
+import "fmt"
+
+// CheckInvariants verifies the engine's structural invariants and
+// returns the first violation found, or nil. It is used by the test
+// suite's property-based checks after randomized operation sequences.
+//
+// Invariants:
+//
+//  1. Exactly one segment is the spare, and it is fully erased (§3.4:
+//     "eNVy must always keep one segment completely erased").
+//  2. Free pages form a suffix of every segment (allocation is
+//     append-only; the live cluster plus invalidated holes sit at the
+//     head).
+//  3. For Hybrid, every non-spare segment belongs to exactly one
+//     partition and every partition holds exactly PartitionSegments
+//     members.
+func (e *Engine) CheckInvariants() error {
+	geo := e.arr.Geometry()
+
+	// 1. Spare is erased.
+	free, live, invalid := e.arr.SegmentCounts(e.spare)
+	if free != geo.PagesPerSegment || live != 0 || invalid != 0 {
+		return fmt.Errorf("spare segment %d not erased: free=%d live=%d invalid=%d",
+			e.spare, free, live, invalid)
+	}
+	if e.partOf[e.spare] != -1 {
+		return fmt.Errorf("spare segment %d still assigned to partition %d", e.spare, e.partOf[e.spare])
+	}
+
+	// 2. Append-only layout: no Free page before a non-Free page.
+	for seg := 0; seg < geo.Segments; seg++ {
+		sawFree := false
+		for page := 0; page < geo.PagesPerSegment; page++ {
+			st := e.arr.State(geo.PPN(seg, page))
+			if st == 0 { // flash.Free
+				sawFree = true
+			} else if sawFree {
+				return fmt.Errorf("segment %d: page %d is %v after a free page (allocation not append-only)",
+					seg, page, st)
+			}
+		}
+	}
+
+	// 3. Partition membership.
+	if e.cfg.Kind == Hybrid {
+		seen := make(map[int]int)
+		for pi := range e.parts {
+			if got := len(e.parts[pi].segs); got < 1 || got > e.cfg.PartitionSegments {
+				return fmt.Errorf("partition %d has %d segments, want 1..%d", pi, got, e.cfg.PartitionSegments)
+			}
+			for _, seg := range e.parts[pi].segs {
+				if prev, dup := seen[seg]; dup {
+					return fmt.Errorf("segment %d in partitions %d and %d", seg, prev, pi)
+				}
+				seen[seg] = pi
+				if e.partOf[seg] != pi {
+					return fmt.Errorf("segment %d: partOf=%d but listed in partition %d", seg, e.partOf[seg], pi)
+				}
+			}
+		}
+		if len(seen) != geo.Segments-1 {
+			return fmt.Errorf("partitions cover %d segments, want %d", len(seen), geo.Segments-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// bgStep is one unit of background work: a stretch of controller time
+// charged to an activity, optionally completing with a callback. Steps
+// are preemptible anywhere: a host access suspends the head step, and
+// the controller pays ResumeDelay before continuing it (§3.4).
+type bgStep struct {
+	act       stats.Activity
+	remaining sim.Duration
+	suspended bool
+	done      func()
+}
+
+// bgState is the background work queue plus the point on the timeline
+// up to which background execution has been simulated.
+type bgState struct {
+	steps   []bgStep
+	pending int // flush tasks scheduled but not yet expanded
+	cursor  sim.Time
+}
+
+func (b *bgState) push(s bgStep) { b.steps = append(b.steps, s) }
+
+// suspend marks the in-flight step as interrupted by a host access.
+func (b *bgState) suspend() {
+	if len(b.steps) > 0 {
+		b.steps[0].suspended = true
+	}
+}
+
+// flushInFlight reports whether a flush task is currently expanded
+// into timed steps.
+func (d *Device) flushInFlight() bool { return len(d.flushPPN) > 0 }
+
+// highWater and lowWater are the flush trigger and drain floor in
+// pages.
+func (d *Device) highWater() int {
+	return int(d.cfg.FlushHighWater * float64(d.buf.Cap()))
+}
+
+func (d *Device) lowWater() int {
+	return int(d.cfg.FlushLowWater * float64(d.buf.Cap()))
+}
+
+// maybeScheduleFlush queues a background flush when the buffer has
+// filled to the high-water mark (§3.2: "pages are flushed from the
+// buffer when their number exceeds a certain threshold").
+func (d *Device) maybeScheduleFlush() {
+	if d.buf.Len() >= d.highWater() && d.bg.pending == 0 && !d.flushInFlight() {
+		d.bg.pending++
+	}
+}
+
+// expandFlush turns a pending flush task into timed steps. The space
+// bookkeeping happens eagerly here (the cleaner may clean segments and
+// relocate pages); the returned work is then played out on the clock.
+// Reports whether a flush was actually started.
+func (d *Device) expandFlush() bool {
+	d.bg.pending--
+	frame := d.buf.Oldest()
+	if frame == nil {
+		return false
+	}
+	frame.Flushing = true
+	lpn := frame.Logical
+	ppn, work := d.eng.Flush(lpn, frame.Home, frame.Data)
+	d.flushPPN[lpn] = ppn
+
+	par := sim.Duration(d.cfg.ParallelFlush)
+	geo := d.cfg.Geometry
+	for _, st := range work {
+		switch st.Kind {
+		case cleaner.StepCopy:
+			per := d.arr.TransferTime() + d.arr.ProgramTime(st.Seg)
+			d.bg.push(bgStep{
+				act:       stats.Cleaning,
+				remaining: sim.Duration(st.Pages) * per / par,
+			})
+		case cleaner.StepErase:
+			d.bg.push(bgStep{
+				act:       stats.Erasing,
+				remaining: d.arr.EraseTime(st.Seg) / par,
+			})
+		default:
+			panic(fmt.Sprintf("core: unknown cleaner step kind %v", st.Kind))
+		}
+	}
+	destSeg, _ := geo.Split(ppn)
+	d.bg.push(bgStep{act: stats.Flushing, remaining: d.arr.TransferTime()})
+	d.bg.push(bgStep{
+		act:       stats.Flushing,
+		remaining: d.arr.ProgramTime(destSeg) / par,
+		done:      func() { d.finishFlush(lpn) },
+	})
+	return true
+}
+
+// finishFlush completes a flush: the page table flips from SRAM to the
+// Flash copy and the frame is released — unless the host re-wrote the
+// page while the program was in flight, in which case the Flash copy
+// is stale and is discarded.
+func (d *Device) finishFlush(lpn uint32) {
+	ppn, ok := d.flushPPN[lpn]
+	if !ok {
+		panic(fmt.Sprintf("core: finishing flush of page %d with no record", lpn))
+	}
+	delete(d.flushPPN, lpn)
+	frame := d.buf.Lookup(lpn)
+	if frame == nil || !frame.Flushing {
+		panic(fmt.Sprintf("core: finishing flush of page %d with no flushing frame", lpn))
+	}
+	if frame.Dirtied {
+		d.arr.Invalidate(ppn)
+		d.buf.Requeue(frame)
+	} else {
+		d.table.MapFlash(lpn, ppn)
+		d.mmu.Update(lpn)
+		d.buf.Remove(frame)
+	}
+	// Keep draining while above the low-water mark.
+	if d.buf.Len() > d.lowWater() && d.bg.pending == 0 {
+		d.bg.pending++
+	}
+}
+
+// runBackground executes queued background work on the interval
+// [bg.cursor, until): resuming suspended steps after ResumeDelay,
+// expanding pending flush tasks, charging idle time when the queue is
+// empty.
+func (d *Device) runBackground(until sim.Time) {
+	b := &d.bg
+	if b.cursor < d.now {
+		b.cursor = d.now
+	}
+	for b.cursor < until {
+		if len(b.steps) == 0 {
+			if b.pending > 0 {
+				if d.expandFlush() {
+					continue
+				}
+				continue // task was a no-op; re-check queue/pending
+			}
+			d.breakdown.Add(stats.Idle, until.Sub(b.cursor))
+			b.cursor = until
+			return
+		}
+		step := &b.steps[0]
+		if step.suspended {
+			// Pay the full resume delay in one quiet stretch or stay
+			// suspended (§3.4: the controller waits a few microseconds
+			// to avoid spurious restarts during access bursts).
+			if until.Sub(b.cursor) < d.cfg.ResumeDelay {
+				d.breakdown.Add(stats.Idle, until.Sub(b.cursor))
+				b.cursor = until
+				return
+			}
+			d.breakdown.Add(stats.Idle, d.cfg.ResumeDelay)
+			b.cursor = b.cursor.Add(d.cfg.ResumeDelay)
+			step.suspended = false
+		}
+		run := step.remaining
+		if avail := until.Sub(b.cursor); run > avail {
+			run = avail
+		}
+		d.breakdown.Add(step.act, run)
+		b.cursor = b.cursor.Add(run)
+		step.remaining -= run
+		if step.remaining > 0 {
+			return // ran out of time mid-step; not suspended, just paused
+		}
+		done := step.done
+		b.steps = b.steps[1:]
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// waitForFrame blocks the host until the write buffer has a free
+// frame, advancing the clock through whatever flushing and cleaning is
+// needed. This is the §5.4 slow path: the copy-on-write that triggered
+// it cannot proceed until a flush (and possibly a segment clean and
+// erase) completes.
+func (d *Device) waitForFrame() {
+	guard := 0
+	for d.buf.Full() {
+		if len(d.bg.steps) == 0 {
+			if d.bg.pending == 0 {
+				d.bg.pending++
+			}
+			if !d.expandFlush() {
+				panic("core: write buffer full but nothing is flushable")
+			}
+		}
+		// Advance to the completion of the head step.
+		step := &d.bg.steps[0]
+		need := step.remaining
+		if step.suspended {
+			need += d.cfg.ResumeDelay
+		}
+		d.runBackground(d.bg.cursor.Add(need))
+		if guard++; guard > 16*d.buf.Cap()+256 {
+			panic("core: waitForFrame made no progress")
+		}
+	}
+	if d.bg.cursor > d.now {
+		d.now = d.bg.cursor
+	}
+}

@@ -1,0 +1,481 @@
+// Package core implements the eNVy memory controller (§3, §5.1): the
+// component that presents a large Flash array as a flat, in-place
+// updatable, non-volatile memory.
+//
+// The controller combines the substrates:
+//
+//   - a page table + MMU translation cache (internal/pagetable) maps
+//     the linear logical space to Flash or to the SRAM write buffer;
+//   - host writes are absorbed by copy-on-write into battery-backed
+//     SRAM (internal/sram), hiding Flash's 4 µs program time;
+//   - pages drain from the buffer to Flash in the background, with
+//     space made by the cleaning engine (internal/cleaner);
+//   - long operations (flush programs, cleaning copies, erases) are
+//     suspendable: host accesses preempt them and the controller waits
+//     a few microseconds before resuming (§3.4).
+//
+// Timing is modelled on a single controller timeline in simulated
+// nanoseconds. Host accesses are synchronous and have absolute
+// priority; background work progresses only in the idle gaps the host
+// leaves (Device.AdvanceTo) or while a host write is blocked on a full
+// buffer — which is exactly when the paper's write latency jumps from
+// 200 ns to several microseconds (§5.4).
+package core
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/flash"
+	"envy/internal/pagetable"
+	"envy/internal/sim"
+	"envy/internal/sram"
+	"envy/internal/stats"
+)
+
+// Config assembles a Device. The zero value of each field selects the
+// paper's parameter (Figure 12) scaled to the chosen geometry.
+type Config struct {
+	// Geometry is the Flash array organization. Required.
+	Geometry flash.Geometry
+
+	// Timing holds the Flash chip timing constants. Zero value selects
+	// PaperTiming (100 ns reads, 4 µs programs, 50 ms erases).
+	Timing flash.Timing
+
+	// Cleaning selects and tunes the cleaning policy. Kind and
+	// PartitionSegments are the interesting knobs; LogicalPages is
+	// derived from UtilizationTarget if left zero.
+	Cleaning cleaner.Config
+
+	// UtilizationTarget caps live data as a fraction of the physical
+	// array (default 0.8; §4.1 keeps 20% free).
+	UtilizationTarget float64
+
+	// BufferPages is the SRAM write buffer capacity in page frames.
+	// Default: one segment's worth, as in §5.1.
+	BufferPages int
+
+	// FlushHighWater is the buffer occupancy fraction that starts
+	// background flushing (default 0.75); FlushLowWater is where
+	// draining stops (default 0.25).
+	FlushHighWater, FlushLowWater float64
+
+	// MMUEntries sizes the translation cache (default 4096 entries;
+	// 0 keeps the default, -1 disables the cache for ablation).
+	MMUEntries int
+
+	// BusOverhead is added to every host access for propagation and
+	// control-signal generation (§5.1 adds 60 ns).
+	BusOverhead sim.Duration
+
+	// PTLookup is the cost of a page-table read on an MMU miss
+	// (default 100 ns, one battery-backed SRAM access).
+	PTLookup sim.Duration
+
+	// ResumeDelay is how long the controller waits before resuming a
+	// suspended long operation (§3.4 "waits a few microseconds";
+	// default 2 µs).
+	ResumeDelay sim.Duration
+
+	// ParallelFlush models the §6 extension of programming multiple
+	// Flash banks concurrently. Values above 1 divide the effective
+	// program and erase times: with a backlog of flushes, consecutive
+	// target segments stripe across banks, so up to min(ParallelFlush,
+	// Banks) operations overlap almost perfectly. Default 1 (off).
+	ParallelFlush int
+
+	// Dataless disables payload storage (timing-only simulation).
+	Dataless bool
+}
+
+func (c *Config) setDefaults() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.Timing == (flash.Timing{}) {
+		c.Timing = flash.PaperTiming()
+	}
+	if c.UtilizationTarget == 0 {
+		c.UtilizationTarget = 0.8
+	}
+	if c.UtilizationTarget <= 0 || c.UtilizationTarget > 1 {
+		return fmt.Errorf("core: UtilizationTarget %v out of (0, 1]", c.UtilizationTarget)
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = c.Geometry.PagesPerSegment
+	}
+	if c.FlushHighWater == 0 {
+		c.FlushHighWater = 0.75
+	}
+	if c.FlushLowWater == 0 {
+		c.FlushLowWater = 0.25
+	}
+	if c.FlushLowWater >= c.FlushHighWater {
+		return fmt.Errorf("core: FlushLowWater (%v) must be below FlushHighWater (%v)",
+			c.FlushLowWater, c.FlushHighWater)
+	}
+	switch {
+	case c.MMUEntries == 0:
+		c.MMUEntries = 4096
+	case c.MMUEntries < 0:
+		c.MMUEntries = 0 // explicit ablation: no translation cache
+	}
+	if c.BusOverhead == 0 {
+		c.BusOverhead = 60 * sim.Nanosecond
+	}
+	if c.PTLookup == 0 {
+		c.PTLookup = 100 * sim.Nanosecond
+	}
+	if c.ResumeDelay == 0 {
+		c.ResumeDelay = 2 * sim.Microsecond
+	}
+	if c.ParallelFlush == 0 {
+		c.ParallelFlush = 1
+	}
+	if c.ParallelFlush > c.Geometry.Banks {
+		c.ParallelFlush = c.Geometry.Banks
+	}
+	if c.Cleaning.Kind == cleaner.Hybrid && c.Cleaning.PartitionSegments == 0 {
+		// The paper's simulated system groups 16 segments per
+		// partition (§4.4, §5.1).
+		c.Cleaning.PartitionSegments = 16
+		if max := c.Geometry.Segments - 1; c.Cleaning.PartitionSegments > max {
+			c.Cleaning.PartitionSegments = max
+		}
+	}
+	if c.Cleaning.LogicalPages == 0 {
+		pages := int(c.UtilizationTarget * float64(c.Geometry.Pages()))
+		max := (c.Geometry.Segments - 1) * c.Geometry.PagesPerSegment
+		if pages > max {
+			pages = max
+		}
+		c.Cleaning.LogicalPages = pages
+	}
+	return nil
+}
+
+// Device is the simulated eNVy storage system. It is not safe for
+// concurrent use: the host memory bus serializes accesses.
+type Device struct {
+	cfg   Config
+	arr   *flash.Array
+	buf   *sram.Buffer
+	table *pagetable.Table
+	mmu   *pagetable.MMU
+	eng   *cleaner.Engine
+
+	now sim.Time
+
+	counters  stats.Counters
+	breakdown stats.Breakdown
+	readLat   stats.Latency
+	writeLat  stats.Latency
+
+	bg bgState
+
+	// flushPPN records, for each logical page whose flush is in
+	// flight, where its eagerly programmed Flash copy currently lives
+	// (the cleaner may relocate it mid-flush).
+	flushPPN map[uint32]uint32
+
+	// shadows records the pre-transaction state of pages touched by
+	// the open transaction (§6).
+	shadows map[uint32]*shadow
+	inTxn   bool
+}
+
+// New builds a Device from cfg (missing fields defaulted per Fig. 12).
+func New(cfg Config) (*Device, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	var opts []flash.Option
+	if cfg.Dataless {
+		opts = append(opts, flash.Dataless())
+	}
+	arr, err := flash.New(cfg.Geometry, cfg.Timing, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:      cfg,
+		arr:      arr,
+		buf:      sram.NewBuffer(cfg.BufferPages, cfg.Geometry.PageSize, cfg.Dataless),
+		table:    pagetable.New(cfg.Cleaning.LogicalPages),
+		mmu:      pagetable.NewMMU(cfg.MMUEntries, cfg.PTLookup),
+		flushPPN: make(map[uint32]uint32),
+		shadows:  make(map[uint32]*shadow),
+	}
+	d.eng, err = cleaner.New(arr, cfg.Cleaning, d.remap, &d.counters)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// remap is the cleaner's callback: the live Flash copy of logical at
+// oldPPN moved to newPPN. Depending on which copy that was, the update
+// goes to the in-flight flush record, the transaction shadow record,
+// or the page table.
+func (d *Device) remap(logical, oldPPN, newPPN uint32) {
+	if ppn, flushing := d.flushPPN[logical]; flushing && ppn == oldPPN {
+		d.flushPPN[logical] = newPPN
+		return
+	}
+	if sh, ok := d.shadows[logical]; ok && sh.hasFlash && sh.ppn == oldPPN {
+		sh.ppn = newPPN
+		return
+	}
+	if loc, ok := d.table.Lookup(logical); ok && !loc.InSRAM && loc.PPN == oldPPN {
+		d.table.MapFlash(logical, newPPN)
+		d.mmu.Update(logical)
+		return
+	}
+	panic(fmt.Sprintf("core: cleaner moved page %d from %d, which no record accounts for", logical, oldPPN))
+}
+
+// Geometry returns the device's Flash organization.
+func (d *Device) Geometry() flash.Geometry { return d.cfg.Geometry }
+
+// Config returns the resolved configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Size returns the logical capacity in bytes.
+func (d *Device) Size() int64 {
+	return int64(d.cfg.Cleaning.LogicalPages) * int64(d.cfg.Geometry.PageSize)
+}
+
+// LogicalPages returns the number of logical pages presented.
+func (d *Device) LogicalPages() int { return d.cfg.Cleaning.LogicalPages }
+
+// Now returns the current simulated time.
+func (d *Device) Now() sim.Time { return d.now }
+
+// Counters returns a copy of the operation counters.
+func (d *Device) Counters() stats.Counters { return d.counters }
+
+// Breakdown returns a copy of the controller time breakdown (§5.3).
+func (d *Device) Breakdown() stats.Breakdown { return d.breakdown }
+
+// ReadLatency and WriteLatency expose the host-observed latency
+// distributions (Figure 15).
+func (d *Device) ReadLatency() *stats.Latency  { return &d.readLat }
+func (d *Device) WriteLatency() *stats.Latency { return &d.writeLat }
+
+// MMUHitRate reports the translation cache hit rate.
+func (d *Device) MMUHitRate() float64 { return d.mmu.HitRate() }
+
+// Array exposes the underlying Flash array for inspection (wear
+// statistics, utilization).
+func (d *Device) Array() *flash.Array { return d.arr }
+
+// BufferLen returns the current write-buffer occupancy in pages.
+func (d *Device) BufferLen() int { return d.buf.Len() }
+
+// Engine exposes the cleaning engine for inspection.
+func (d *Device) Engine() *cleaner.Engine { return d.eng }
+
+// ResetStats zeroes counters, latency histograms and the time
+// breakdown — typically called after warm-up.
+func (d *Device) ResetStats() {
+	d.counters.Reset()
+	d.breakdown.Reset()
+	d.readLat.Reset()
+	d.writeLat.Reset()
+}
+
+// PowerCycle simulates a power failure and recovery. eNVy's state —
+// Flash contents, the battery-backed SRAM buffer and page table, and
+// the cleaning state — is persistent (§3.3, §3.4); only the volatile
+// MMU translation cache is lost.
+func (d *Device) PowerCycle() {
+	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
+}
+
+func (d *Device) checkAddr(addr uint64, n int) uint32 {
+	if int64(addr)+int64(n) > d.Size() {
+		panic(fmt.Sprintf("core: access at %d+%d beyond device size %d", addr, n, d.Size()))
+	}
+	return uint32(addr / uint64(d.cfg.Geometry.PageSize))
+}
+
+// AdvanceTo idles the host until t, letting background work (flushes,
+// cleaning, erases) progress. It is a no-op if t is in the past.
+func (d *Device) AdvanceTo(t sim.Time) {
+	if t <= d.now {
+		return
+	}
+	d.runBackground(t)
+	d.now = t
+}
+
+// translate charges the translation cost for one host access.
+func (d *Device) translate(page uint32) sim.Duration {
+	cost := d.mmu.Translate(page)
+	if cost == 0 {
+		d.counters.MMUHits++
+	} else {
+		d.counters.MMUMisses++
+	}
+	return d.cfg.BusOverhead + cost
+}
+
+// ReadWord reads the 32-bit word at the given byte address (which must
+// be 4-byte aligned) and returns it with the host-observed latency.
+func (d *Device) ReadWord(addr uint64) (uint32, sim.Duration) {
+	var buf [4]byte
+	lat := d.read(addr, buf[:])
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, lat
+}
+
+// WriteWord writes a 32-bit word at the given byte address and returns
+// the host-observed latency.
+func (d *Device) WriteWord(addr uint64, v uint32) sim.Duration {
+	return d.write(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// Read copies len(p) bytes starting at addr into p, issuing one host
+// access per 32-bit word (the paper's word-sized interface, §1), and
+// returns the total latency. Accesses may span pages.
+func (d *Device) Read(p []byte, addr uint64) sim.Duration {
+	var total sim.Duration
+	for off := 0; off < len(p); off += 4 {
+		end := off + 4
+		if end > len(p) {
+			end = len(p)
+		}
+		total += d.read(addr+uint64(off), p[off:end])
+	}
+	return total
+}
+
+// Write stores p starting at addr, one 32-bit word per host access,
+// and returns the total latency.
+func (d *Device) Write(p []byte, addr uint64) sim.Duration {
+	var total sim.Duration
+	for off := 0; off < len(p); off += 4 {
+		end := off + 4
+		if end > len(p) {
+			end = len(p)
+		}
+		total += d.write(addr+uint64(off), p[off:end])
+	}
+	return total
+}
+
+// read performs one host read access of up to 4 bytes within one page.
+func (d *Device) read(addr uint64, p []byte) sim.Duration {
+	page := d.checkAddr(addr, len(p))
+	off := int(addr % uint64(d.cfg.Geometry.PageSize))
+	if off+len(p) > d.cfg.Geometry.PageSize {
+		panic(fmt.Sprintf("core: word access at %d crosses a page boundary", addr))
+	}
+	lat := d.translate(page)
+	loc, mapped := d.table.Lookup(page)
+	switch {
+	case !mapped:
+		// Never-written memory reads as zeros at Flash read cost.
+		lat += d.arr.ReadTime()
+		for i := range p {
+			p[i] = 0
+		}
+	case loc.InSRAM:
+		lat += 100 * sim.Nanosecond // battery-backed SRAM access
+		if f := d.buf.Lookup(page); f != nil && f.Data != nil {
+			copy(p, f.Data[off:])
+		} else {
+			for i := range p {
+				p[i] = 0
+			}
+		}
+	default:
+		lat += d.arr.ReadTime()
+		if data := d.arr.Page(loc.PPN); data != nil {
+			copy(p, data[off:])
+		} else {
+			for i := range p {
+				p[i] = 0
+			}
+		}
+	}
+	d.counters.HostReads++
+	d.completeAccess(lat, stats.Reading)
+	d.readLat.Record(lat)
+	return lat
+}
+
+// write performs one host write access of up to 4 bytes within a page,
+// executing a copy-on-write (§3.1, Figure 3) if the page is not yet
+// buffered. If the buffer is full the host blocks until a flush frees
+// a frame — the condition behind Figure 15's write-latency jump.
+func (d *Device) write(addr uint64, p []byte) sim.Duration {
+	page := d.checkAddr(addr, len(p))
+	off := int(addr % uint64(d.cfg.Geometry.PageSize))
+	if off+len(p) > d.cfg.Geometry.PageSize {
+		panic(fmt.Sprintf("core: word access at %d crosses a page boundary", addr))
+	}
+	start := d.now
+	d.completeAccess(d.translate(page), stats.Writing)
+
+	frame := d.buf.Lookup(page)
+	if frame == nil {
+		// Copy-on-write: wait for buffer space if necessary (time
+		// passes inside waitForFrame, charged to the background work
+		// the host is stuck behind), then pull the page into SRAM in
+		// one wide bank transfer.
+		d.waitForFrame()
+		frame = d.copyOnWrite(page)
+		d.completeAccess(d.arr.TransferTime(), stats.Writing)
+	} else {
+		d.counters.BufferHits++
+		d.captureShadow(page, frame)
+		if frame.Flushing {
+			// The in-flight Flash copy is stale the moment this write
+			// lands; it will be invalidated when the program finishes.
+			frame.Dirtied = true
+		}
+	}
+	d.completeAccess(100*sim.Nanosecond, stats.Writing) // SRAM write cycle
+	if frame.Data != nil {
+		copy(frame.Data[off:], p)
+	}
+	d.counters.HostWrites++
+	d.maybeScheduleFlush()
+	lat := d.now.Sub(start)
+	d.writeLat.Record(lat)
+	return lat
+}
+
+// copyOnWrite moves a page's current contents into a fresh SRAM frame
+// and atomically retargets the page table (§3.1). The old Flash copy
+// is invalidated — unless an open transaction needs it as a shadow.
+func (d *Device) copyOnWrite(page uint32) *sram.Frame {
+	loc, mapped := d.table.Lookup(page)
+	var payload []byte
+	home := d.eng.Home(page, mapped && !loc.InSRAM, loc.PPN)
+	invalidate := d.captureShadow(page, nil)
+	if mapped && !loc.InSRAM {
+		payload = d.arr.Page(loc.PPN)
+		if invalidate {
+			d.arr.Invalidate(loc.PPN)
+		}
+	}
+	frame := d.buf.Insert(page, home, payload)
+	d.table.MapSRAM(page)
+	d.mmu.Update(page)
+	d.counters.CopyOnWrites++
+	return frame
+}
+
+// completeAccess advances the clock past a host access, charging the
+// time to the given activity and suspending any in-flight long op.
+func (d *Device) completeAccess(lat sim.Duration, act stats.Activity) {
+	if lat < 0 {
+		lat = 0
+	}
+	d.breakdown.Add(act, lat)
+	d.now = d.now.Add(lat)
+	d.bg.suspend()
+	d.bg.cursor = d.now
+}

@@ -1,0 +1,578 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/flash"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// testConfig is a small device: 16 segments of 32 pages of 64 bytes,
+// an 8-frame write buffer.
+func testConfig() Config {
+	return Config{
+		Geometry:    flash.Geometry{PageSize: 64, PagesPerSegment: 32, Segments: 16, Banks: 4},
+		Cleaning:    cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 4},
+		BufferPages: 8,
+	}
+}
+
+func newDevice(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := newDevice(t, testConfig())
+	cfg := d.Config()
+	if cfg.UtilizationTarget != 0.8 {
+		t.Errorf("UtilizationTarget = %v", cfg.UtilizationTarget)
+	}
+	if cfg.BusOverhead != 60*sim.Nanosecond || cfg.PTLookup != 100*sim.Nanosecond {
+		t.Errorf("timing defaults wrong: %+v", cfg)
+	}
+	if cfg.ResumeDelay != 2*sim.Microsecond {
+		t.Errorf("ResumeDelay = %v", cfg.ResumeDelay)
+	}
+	if cfg.ParallelFlush != 1 {
+		t.Errorf("ParallelFlush = %v", cfg.ParallelFlush)
+	}
+	pages := float64(16 * 32)
+	wantPages := int(0.8 * pages)
+	if d.LogicalPages() != wantPages {
+		t.Errorf("LogicalPages = %d, want %d", d.LogicalPages(), wantPages)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Geometry: flash.Geometry{PageSize: 64, PagesPerSegment: 32, Segments: 16, Banks: 4}, UtilizationTarget: 1.5},
+		{Geometry: flash.Geometry{PageSize: 64, PagesPerSegment: 32, Segments: 16, Banks: 4}, FlushHighWater: 0.2, FlushLowWater: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d := newDevice(t, testConfig())
+	v, lat := d.ReadWord(128)
+	if v != 0 {
+		t.Errorf("unwritten word = %#x", v)
+	}
+	// 60ns bus + 100ns PT lookup (cold MMU) + 100ns flash read.
+	if lat != 260*sim.Nanosecond {
+		t.Errorf("cold read latency = %v, want 260ns", lat)
+	}
+	_, lat = d.ReadWord(128)
+	if lat != 160*sim.Nanosecond {
+		t.Errorf("warm read latency = %v, want 160ns", lat)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(512, 0xdeadbeef)
+	v, _ := d.ReadWord(512)
+	if v != 0xdeadbeef {
+		t.Errorf("read back %#x", v)
+	}
+	// Neighbouring words in the same page are zero.
+	v, _ = d.ReadWord(516)
+	if v != 0 {
+		t.Errorf("neighbour word = %#x", v)
+	}
+}
+
+func TestWriteLatencies(t *testing.T) {
+	d := newDevice(t, testConfig())
+	// First write: cold MMU (100) + bus (60) + page transfer (100) + SRAM write (100).
+	lat := d.WriteWord(0, 1)
+	if lat != 360*sim.Nanosecond {
+		t.Errorf("cold copy-on-write latency = %v, want 360ns", lat)
+	}
+	// Second write to the same page: buffered, warm MMU: 60 + 100.
+	lat = d.WriteWord(4, 2)
+	if lat != 160*sim.Nanosecond {
+		t.Errorf("buffered write latency = %v, want 160ns", lat)
+	}
+	c := d.Counters()
+	if c.CopyOnWrites != 1 || c.BufferHits != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestBulkReadWrite(t *testing.T) {
+	d := newDevice(t, testConfig())
+	msg := []byte("the quick brown fox jumps over the lazy dog, twice over!")
+	// Cross a page boundary on purpose (page size 64).
+	d.Write(msg, 40)
+	got := make([]byte, len(msg))
+	d.Read(got, 40)
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newDevice(t, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	d.ReadWord(uint64(d.Size()))
+}
+
+func TestFlushDrainsBuffer(t *testing.T) {
+	d := newDevice(t, testConfig())
+	// Dirty more pages than the high-water mark (6 of 8 frames).
+	for i := 0; i < 7; i++ {
+		d.WriteWord(uint64(i*64), uint32(i+1))
+	}
+	if d.BufferLen() != 7 {
+		t.Fatalf("buffer len = %d", d.BufferLen())
+	}
+	// Give the device idle time: flushing + cleaning should drain to
+	// the low-water mark (2 frames).
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond))
+	if got := d.BufferLen(); got > 2 {
+		t.Errorf("buffer len after idle = %d, want ≤ 2", got)
+	}
+	// The data survives the flush.
+	for i := 0; i < 7; i++ {
+		if v, _ := d.ReadWord(uint64(i * 64)); v != uint32(i+1) {
+			t.Errorf("page %d read back %d", i, v)
+		}
+	}
+	if d.Counters().Flushes == 0 {
+		t.Error("no flushes recorded")
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBlocksOnFullBuffer(t *testing.T) {
+	d := newDevice(t, testConfig())
+	// Fill every frame with distinct pages, leaving no idle time.
+	var maxLat sim.Duration
+	for i := 0; i < 40; i++ {
+		lat := d.WriteWord(uint64(i*64), uint32(i))
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	// Once the buffer filled, at least one write had to wait for a
+	// 4 µs program (and possibly cleaning).
+	if maxLat < 4*sim.Microsecond {
+		t.Errorf("max write latency = %v, want ≥ 4µs (blocked write)", maxLat)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirtiedDuringFlush(t *testing.T) {
+	d := newDevice(t, testConfig())
+	for i := 0; i < 6; i++ {
+		d.WriteWord(uint64(i*64), uint32(i+100))
+	}
+	// Let the flush of page 0 get mid-program: the transfer (100ns)
+	// completes, the program (4µs) is in flight after ~1µs of idle.
+	d.AdvanceTo(d.Now().Add(3 * sim.Microsecond))
+	// Re-write page 0 while its program is in flight.
+	d.WriteWord(0, 777)
+	// Let everything settle.
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond))
+	if v, _ := d.ReadWord(0); v != 777 {
+		t.Errorf("dirtied page read back %d, want 777", v)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	d := newDevice(t, testConfig())
+	for i := 0; i < 200; i++ {
+		d.WriteWord(uint64((i%40)*64), uint32(i))
+		d.ReadWord(uint64((i % 40) * 64))
+		d.AdvanceTo(d.Now().Add(2 * sim.Microsecond))
+	}
+	d.AdvanceTo(d.Now().Add(200 * sim.Millisecond))
+	b := d.Breakdown()
+	for _, act := range []stats.Activity{stats.Reading, stats.Writing, stats.Flushing, stats.Erasing, stats.Idle} {
+		if b.Get(act) == 0 {
+			t.Errorf("no time charged to %v", act)
+		}
+	}
+	total := b.Total()
+	if got := sim.Duration(d.Now()); total != got {
+		t.Errorf("breakdown total %v != elapsed %v", total, got)
+	}
+}
+
+func TestPowerCyclePersistence(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(1024, 0xabcd)
+	d.PowerCycle()
+	if v, _ := d.ReadWord(1024); v != 0xabcd {
+		t.Errorf("data lost across power cycle: %#x", v)
+	}
+	// The volatile MMU is cold again: the read above paid a miss.
+	if d.MMUHitRate() != 0 {
+		t.Errorf("MMU hit rate = %v after power cycle + 1 read", d.MMUHitRate())
+	}
+}
+
+func TestPreload(t *testing.T) {
+	d := newDevice(t, testConfig())
+	blob := make([]byte, 1000)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	if err := d.Preload(blob, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(blob))
+	d.Read(got, 100)
+	if !bytes.Equal(got, blob) {
+		t.Error("preloaded data mismatch")
+	}
+	// Preload of a partially overlapping range preserves neighbours.
+	if err := d.Preload([]byte{0xEE}, 150); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	d.Read(b[:], 149)
+	if b[0] != 49 {
+		t.Errorf("neighbour byte = %d, want 49", b[0])
+	}
+	if err := d.Preload(make([]byte, 10), uint64(d.Size())-5); err == nil {
+		t.Error("out-of-range preload accepted")
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(0, 1)
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond)) // flush it
+	if err := d.BeginTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteWord(0, 2)
+	if d.TransactionPages() != 1 {
+		t.Errorf("TransactionPages = %d", d.TransactionPages())
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadWord(0); v != 2 {
+		t.Errorf("committed value = %d", v)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(0, 1)
+	d.WriteWord(64, 10)
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond)) // flush to Flash
+	if err := d.BeginTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteWord(0, 2)
+	d.WriteWord(64, 20)
+	d.WriteWord(64, 21) // second write to the same page: one shadow
+	if d.TransactionPages() != 2 {
+		t.Errorf("TransactionPages = %d", d.TransactionPages())
+	}
+	if err := d.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadWord(0); v != 1 {
+		t.Errorf("rolled-back page 0 = %d, want 1", v)
+	}
+	if v, _ := d.ReadWord(64); v != 10 {
+		t.Errorf("rolled-back page 1 = %d, want 10", v)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionRollbackAfterFlush(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(0, 1)
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond))
+	if err := d.BeginTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteWord(0, 2)
+	// Force the transactional version to flush to Flash.
+	for i := 1; i < 8; i++ {
+		d.WriteWord(uint64(i*64), uint32(i))
+	}
+	d.AdvanceTo(d.Now().Add(100 * sim.Millisecond))
+	if err := d.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.ReadWord(0); v != 1 {
+		t.Errorf("rolled-back flushed page = %d, want 1", v)
+	}
+	// The other pages keep their (non-transactional... they were in
+	// the transaction too) — all writes during the txn roll back.
+	if err := d.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	d := newDevice(t, testConfig())
+	if err := d.Commit(); err == nil {
+		t.Error("Commit without transaction accepted")
+	}
+	if err := d.Rollback(); err == nil {
+		t.Error("Rollback without transaction accepted")
+	}
+	if err := d.BeginTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BeginTransaction(); err == nil {
+		t.Error("nested transaction accepted")
+	}
+	if err := d.Preload([]byte{1}, 0); err == nil {
+		t.Error("Preload during transaction accepted")
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWorkloadConsistency(t *testing.T) {
+	cfgs := map[string]Config{
+		"hybrid":   testConfig(),
+		"greedy":   {Geometry: testConfig().Geometry, Cleaning: cleaner.Config{Kind: cleaner.Greedy}, BufferPages: 8},
+		"parallel": {Geometry: testConfig().Geometry, Cleaning: cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 4}, BufferPages: 8, ParallelFlush: 4},
+		"wear":     {Geometry: testConfig().Geometry, Cleaning: cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 4, WearThreshold: 10}, BufferPages: 8},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			d := newDevice(t, cfg)
+			r := sim.NewRNG(31)
+			model := make(map[uint64]uint32)
+			pages := d.LogicalPages()
+			for i := 0; i < 8000; i++ {
+				addr := uint64(r.Intn(pages*16)) * 4 // word index within device
+				if addr >= uint64(d.Size()) {
+					addr = uint64(d.Size()) - 4
+				}
+				switch r.Intn(4) {
+				case 0:
+					v, _ := d.ReadWord(addr)
+					if want := model[addr]; v != want {
+						t.Fatalf("step %d: read %d at %d, want %d", i, v, addr, want)
+					}
+				default:
+					v := uint32(r.Uint64())
+					d.WriteWord(addr, v)
+					model[addr] = v
+				}
+				if r.Intn(8) == 0 {
+					d.AdvanceTo(d.Now().Add(sim.Duration(r.Intn(40)) * sim.Microsecond))
+				}
+				if i%2000 == 1999 {
+					if err := d.CheckConsistency(); err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+				}
+			}
+			d.AdvanceTo(d.Now().Add(time500ms()))
+			for addr, want := range model {
+				if v, _ := d.ReadWord(addr); v != want {
+					t.Fatalf("final read %d at %d, want %d", v, addr, want)
+				}
+			}
+			if err := d.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func time500ms() sim.Duration { return 500 * sim.Millisecond }
+
+func TestRandomTransactionsConsistency(t *testing.T) {
+	d := newDevice(t, testConfig())
+	r := sim.NewRNG(77)
+	committed := make(map[uint64]uint32) // durable state
+	pending := make(map[uint64]uint32)   // writes inside the open txn
+	inTxn := false
+	words := int(d.Size() / 4)
+	for i := 0; i < 6000; i++ {
+		addr := uint64(r.Intn(words)) * 4
+		switch r.Intn(10) {
+		case 0:
+			if !inTxn {
+				if err := d.BeginTransaction(); err != nil {
+					t.Fatal(err)
+				}
+				inTxn = true
+			}
+		case 1:
+			if inTxn {
+				if r.Intn(2) == 0 {
+					if err := d.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					for a, v := range pending {
+						committed[a] = v
+					}
+				} else {
+					if err := d.Rollback(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pending = make(map[uint64]uint32)
+				inTxn = false
+			}
+		case 2, 3:
+			v, _ := d.ReadWord(addr)
+			want, isPending := pending[addr]
+			if !isPending || !inTxn {
+				want = committed[addr]
+			}
+			if v != want {
+				t.Fatalf("step %d: read %d at %d, want %d (txn=%v)", i, v, addr, want, inTxn)
+			}
+		default:
+			v := uint32(r.Uint64())
+			d.WriteWord(addr, v)
+			if inTxn {
+				pending[addr] = v
+			} else {
+				committed[addr] = v
+			}
+		}
+		if r.Intn(6) == 0 {
+			d.AdvanceTo(d.Now().Add(sim.Duration(r.Intn(30)) * sim.Microsecond))
+		}
+	}
+	if inTxn {
+		if err := d.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.AdvanceTo(d.Now().Add(500 * sim.Millisecond))
+	for addr, want := range committed {
+		if v, _ := d.ReadWord(addr); v != want {
+			t.Fatalf("final read %d at %d, want %d", v, addr, want)
+		}
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelFlushFaster(t *testing.T) {
+	elapsed := func(parallel int) sim.Time {
+		cfg := testConfig()
+		cfg.ParallelFlush = parallel
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.NewRNG(5)
+		// Write-heavy back-to-back workload: completion time is
+		// dominated by flush/clean throughput.
+		for i := 0; i < 3000; i++ {
+			d.WriteWord(uint64(r.Intn(d.LogicalPages()))*64, uint32(i))
+		}
+		d.AdvanceTo(d.Now().Add(sim.Second)) // drain
+		b := d.Breakdown()
+		_ = b
+		return d.Now()
+	}
+	serial := elapsed(1)
+	parallel := elapsed(4)
+	if parallel >= serial {
+		t.Errorf("parallel flush (%v) not faster than serial (%v)", parallel, serial)
+	}
+}
+
+func TestMMUAblation(t *testing.T) {
+	run := func(entries int) sim.Duration {
+		cfg := testConfig()
+		cfg.MMUEntries = entries
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			d.ReadWord(uint64(i%8) * 64)
+		}
+		return d.ReadLatency().Mean()
+	}
+	with := run(1024)
+	without := run(-1)
+	if with >= without {
+		t.Errorf("MMU did not reduce mean read latency: with=%v without=%v", with, without)
+	}
+	if without != 260*sim.Nanosecond {
+		t.Errorf("no-MMU read latency = %v, want 260ns", without)
+	}
+}
+
+func TestLatencyHistogramsRecorded(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(0, 1)
+	d.ReadWord(0)
+	if d.ReadLatency().Count() != 1 || d.WriteLatency().Count() != 1 {
+		t.Error("latency samples not recorded")
+	}
+	d.ResetStats()
+	if d.ReadLatency().Count() != 0 {
+		t.Error("ResetStats did not clear latencies")
+	}
+}
+
+func TestWordCrossingPagePanics(t *testing.T) {
+	d := newDevice(t, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("page-crossing word access did not panic")
+		}
+	}()
+	d.ReadWord(62) // page size 64: word at 62 crosses the boundary
+}
+
+func ExampleDevice() {
+	d, err := New(Config{
+		Geometry: flash.SmallGeometry(),
+		Cleaning: cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	d.WriteWord(0, 42)
+	v, lat := d.ReadWord(0)
+	fmt.Println(v, lat >= 160)
+	// Output: 42 true
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"envy/internal/sim"
+)
+
+// TestPowerCycleMidActivity: §3.3/§3.4 — the page table, write buffer,
+// and cleaning state are all in persistent memory, so a power failure
+// at an arbitrary point (including with dirty buffered pages and
+// background work queued) loses nothing.
+func TestPowerCycleMidActivity(t *testing.T) {
+	d := newDevice(t, testConfig())
+	r := sim.NewRNG(17)
+	model := make(map[uint64]uint32)
+	for i := 0; i < 3000; i++ {
+		addr := uint64(r.Intn(d.LogicalPages())) * 64
+		v := uint32(r.Uint64())
+		d.WriteWord(addr, v)
+		model[addr] = v
+		if i%500 == 250 {
+			// Fail at a deliberately awkward moment: dirty buffer,
+			// possibly mid-flush and mid-erase.
+			d.PowerCycle()
+			if err := d.CheckConsistency(); err != nil {
+				t.Fatalf("step %d after power cycle: %v", i, err)
+			}
+		}
+		if i%8 == 0 {
+			d.AdvanceTo(d.Now().Add(sim.Duration(r.Intn(30)) * sim.Microsecond))
+		}
+	}
+	d.AdvanceTo(d.Now().Add(500 * sim.Millisecond))
+	for addr, want := range model {
+		if v, _ := d.ReadWord(addr); v != want {
+			t.Fatalf("read %d at %d, want %d", v, addr, want)
+		}
+	}
+}
+
+// TestChurnAges verifies the benchmark aging pass: it spreads
+// invalidation across segments without corrupting contents.
+func TestChurnAges(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(0, 0xFEED)
+	d.AdvanceTo(d.Now().Add(200 * sim.Millisecond)) // flush it
+	before := d.Array().TotalErases()
+	d.Churn(5000, 3)
+	if d.Array().TotalErases() <= before {
+		t.Error("churn caused no erases")
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Churn rewrites pages in place; previously written data survives.
+	if v, _ := d.ReadWord(0); v != 0xFEED {
+		t.Errorf("data after churn = %#x", v)
+	}
+	// Time does not pass.
+	if d.Now() > sim.Time(300*sim.Millisecond) {
+		t.Errorf("churn advanced the clock to %v", d.Now())
+	}
+}
+
+// TestChurnSkipsBufferedPages: churn must not clobber newer buffered
+// versions with stale Flash contents.
+func TestChurnSkipsBufferedPages(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.WriteWord(128, 1)
+	d.AdvanceTo(d.Now().Add(200 * sim.Millisecond)) // flushed: v=1 in flash
+	d.WriteWord(128, 2)                             // buffered, newer
+	d.Churn(2000, 9)
+	if v, _ := d.ReadWord(128); v != 2 {
+		t.Errorf("buffered page after churn = %d, want 2", v)
+	}
+	if err := d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatermarks verifies the high/low-water flush policy: flushing
+// starts at the high mark and drains to the low mark.
+func TestWatermarks(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushHighWater = 0.75 // 6 of 8 frames
+	cfg.FlushLowWater = 0.25  // 2 of 8 frames
+	d := newDevice(t, cfg)
+	// Five dirty pages: below high water, nothing flushes no matter
+	// how long the device idles.
+	for i := 0; i < 5; i++ {
+		d.WriteWord(uint64(i)*64, 1)
+	}
+	d.AdvanceTo(d.Now().Add(sim.Second))
+	if got := d.Counters().Flushes; got != 0 {
+		t.Errorf("%d flushes below the high-water mark", got)
+	}
+	// The sixth write crosses the mark; idling drains to the low mark.
+	d.WriteWord(5*64, 1)
+	d.AdvanceTo(d.Now().Add(sim.Second))
+	if got := d.BufferLen(); got != 2 {
+		t.Errorf("buffer drained to %d pages, want the low mark (2)", got)
+	}
+}
+
+// TestPowerCycleKeepsWearState: erase counters (which drive wear
+// leveling) are part of the persistent cleaning state.
+func TestPowerCycleKeepsWearState(t *testing.T) {
+	d := newDevice(t, testConfig())
+	d.Churn(3000, 5)
+	_, maxBefore := d.Array().WearSpread()
+	if maxBefore == 0 {
+		t.Skip("churn produced no wear at this geometry")
+	}
+	d.PowerCycle()
+	_, maxAfter := d.Array().WearSpread()
+	if maxAfter != maxBefore {
+		t.Errorf("wear state changed across power cycle: %d -> %d", maxBefore, maxAfter)
+	}
+}

@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4–§5). Each experiment is a plain function
+// returning typed rows; cmd/experiments prints them and the root
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Two scales are provided. Small keeps the paper's *shape* — 128
+// segments, 8 banks, 80% utilization, hybrid-16 cleaning — at 1/256
+// the capacity, so every run fits in seconds on a laptop. Paper is the
+// full Figure 12 configuration (2 GB, 15.5M-account-class database);
+// absolute TPS numbers comparable to the paper's require this scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"envy/internal/flash"
+	"envy/internal/sim"
+)
+
+// Scale bundles the knobs that differ between the laptop profile and
+// the paper profile.
+type Scale struct {
+	Name string
+
+	// Policy-study array (Figures 6, 8, 9, 10).
+	PolicyGeometry flash.Geometry
+	Warm, Measure  int // multiples of the logical page count
+
+	// Full-system TPC-A runs (Figures 13, 14, 15, §5.3, §5.5).
+	SystemGeometry    flash.Geometry
+	BufferPages       int
+	Branches          int
+	AccountsPerTeller int
+	Rates             []float64 // offered TPS sweep
+	SimTime           sim.Duration
+	WarmTime          sim.Duration
+
+	// AgeWrites churns this many random pages (untimed) before each
+	// run, so measurement starts from cleaning-active steady state
+	// instead of a freshly loaded array whose free space sits in
+	// never-written segments.
+	AgeWrites int
+
+	Seed uint64
+}
+
+// Small returns the laptop-scale profile.
+func Small() Scale {
+	return Scale{
+		Name:           "small",
+		PolicyGeometry: flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 129, Banks: 1},
+		Warm:           60,
+		Measure:        20,
+		SystemGeometry: flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 128, Banks: 8},
+		BufferPages:    2048,
+		Branches:       2, AccountsPerTeller: 500,
+		Rates:     []float64{500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 16000, 32000},
+		SimTime:   400 * sim.Millisecond,
+		WarmTime:  200 * sim.Millisecond,
+		AgeWrites: 40_000,
+		Seed:      1,
+	}
+}
+
+// Paper returns the Figure 12 full-scale profile. A run needs ~2.5 GB
+// of host memory and minutes of wall time.
+//
+// One substitution: our B-tree nodes occupy 512 bytes, denser than
+// whatever node layout the authors assumed, so a 155-branch database
+// plus indexes slightly overflows 80% of 2 GB; 128 branches (12.8M
+// accounts) keeps the same per-transaction I/O (identical tree depths)
+// within the utilization cap.
+func Paper() Scale {
+	return Scale{
+		Name: "paper",
+		// Policy studies are scale-free (Figure 8's axes are locality
+		// and segment counts, not bytes); both scales use the same
+		// well-converged 128-segment profile.
+		PolicyGeometry: flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 129, Banks: 1},
+		Warm:           60,
+		Measure:        20,
+		SystemGeometry: flash.PaperGeometry(),
+		BufferPages:    64 * 1024, // 16 MB, one segment (§5.1)
+		Branches:       128, AccountsPerTeller: 10000,
+		Rates:     []float64{5000, 10000, 20000, 30000, 40000, 50000},
+		SimTime:   1 * sim.Second,
+		WarmTime:  1 * sim.Second,
+		AgeWrites: 2_500_000,
+		Seed:      1,
+	}
+}
+
+// Localities is the Figure 8 x-axis.
+var Localities = []string{"50/50", "40/60", "30/70", "20/80", "10/90", "5/95"}
+
+// Table is a printable result grid.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Print renders the table as aligned text.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func ns(d sim.Duration) string {
+	if d >= 10*sim.Microsecond {
+		return fmt.Sprintf("%.1fµs", d.Micros())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}

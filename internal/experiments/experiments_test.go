@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"envy/internal/flash"
+	"envy/internal/sim"
+)
+
+// microScale shrinks everything so the whole experiment suite runs in
+// a few seconds of wall time.
+func microScale() Scale {
+	return Scale{
+		Name:           "micro",
+		PolicyGeometry: flash.Geometry{PageSize: 256, PagesPerSegment: 64, Segments: 33, Banks: 1},
+		Warm:           10,
+		Measure:        5,
+		SystemGeometry: flash.Geometry{PageSize: 256, PagesPerSegment: 64, Segments: 64, Banks: 8},
+		// Smaller than the workload's working set, so writes actually
+		// reach Flash at micro scale.
+		BufferPages: 128,
+		Branches:    1, AccountsPerTeller: 100,
+		Rates:    []float64{500, 2000},
+		SimTime:  60 * sim.Millisecond,
+		WarmTime: 30 * sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+func TestFig6TracksAnalytic(t *testing.T) {
+	rows, err := Fig6(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// At very low utilization and tiny segments, FIFO effects push
+		// measured cost below the closed form; compare loosely there.
+		if r.Utilization < 0.3 {
+			if r.Measured > r.Analytic+0.2 {
+				t.Errorf("u=%.1f: measured %.2f vs analytic %.2f", r.Utilization, r.Measured, r.Analytic)
+			}
+			continue
+		}
+		if r.Measured < r.Analytic*0.7 || r.Measured > r.Analytic*1.3 {
+			t.Errorf("u=%.1f: measured %.2f vs analytic %.2f", r.Utilization, r.Measured, r.Analytic)
+		}
+	}
+	tbl := Fig6Table(rows)
+	if len(tbl.Rows) != len(rows) {
+		t.Error("table row count mismatch")
+	}
+}
+
+func TestFig8AllPoliciesMeasured(t *testing.T) {
+	rows, err := Fig8(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Localities) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Greedy <= 0 || r.LG <= 0 || r.Hybrid16 <= 0 || r.FIFO <= 0 {
+			t.Errorf("%s: zero cost in %+v", r.Locality, r)
+		}
+	}
+	var buf strings.Builder
+	Fig8Table(rows).Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("table print missing title")
+	}
+}
+
+func TestFig9Endpoints(t *testing.T) {
+	rows, err := Fig9(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].PartitionSegments != 1 {
+		t.Errorf("first row k=%d", rows[0].PartitionSegments)
+	}
+	last := rows[len(rows)-1]
+	if last.PartitionSegments != microScale().PolicyGeometry.Segments-1 {
+		t.Errorf("last row k=%d", last.PartitionSegments)
+	}
+	Fig9Table(rows)
+}
+
+func TestFig10ShrinksWithSegments(t *testing.T) {
+	rows, err := Fig10(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// More segments should not make hot-workload cleaning worse.
+	if last.Cost["10/90"] > first.Cost["10/90"]*1.2 {
+		t.Errorf("cost rose with segments: %.2f -> %.2f", first.Cost["10/90"], last.Cost["10/90"])
+	}
+	Fig10Table(rows)
+}
+
+func TestRateSweepSaturates(t *testing.T) {
+	sc := microScale()
+	sc.Rates = []float64{500, 1e6}
+	pts, err := RateSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].TPS < 350 || pts[0].TPS > 650 {
+		t.Errorf("low-rate TPS = %.0f", pts[0].TPS)
+	}
+	if pts[1].TPS > 0.5e6 {
+		t.Errorf("saturated TPS = %.0f looks unbounded", pts[1].TPS)
+	}
+	if pts[1].WriteMean <= pts[0].WriteMean {
+		t.Errorf("write latency did not rise at saturation: %v vs %v", pts[1].WriteMean, pts[0].WriteMean)
+	}
+	Fig13Table(pts)
+	Fig15Table(pts)
+}
+
+func TestFig14UtilizationHurts(t *testing.T) {
+	sc := microScale()
+	pts, labels, err := Fig14(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || len(labels) == 0 {
+		t.Fatal("no points")
+	}
+	top := labels[len(labels)-1]
+	lowU, highU := pts[0], pts[len(pts)-1]
+	if highU.TPS[top] > lowU.TPS[top]*1.2 {
+		t.Errorf("throughput rose with utilization: %.0f -> %.0f", lowU.TPS[top], highU.TPS[top])
+	}
+	Fig14Table(pts, labels)
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	r, err := Breakdown(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Reading + r.Writing + r.Flushing + r.Cleaning + r.Erasing + r.Idle
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("fractions sum to %.3f", sum)
+	}
+	BreakdownTable(r)
+}
+
+func TestLifetimeExperiment(t *testing.T) {
+	r, err := Lifetime(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PaperFormula.Years() < 8.5 || r.PaperFormula.Years() > 8.8 {
+		t.Errorf("paper formula years = %.2f", r.PaperFormula.Years())
+	}
+	if r.Measured.Days() <= 0 {
+		t.Errorf("measured lifetime = %v", r.Measured.Days())
+	}
+	LifetimeTable(r)
+}
+
+func TestParallelReducesFlushTime(t *testing.T) {
+	pts, err := Parallel(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[3].MeanFlushTime >= pts[0].MeanFlushTime {
+		t.Errorf("8-way flush time %v not below serial %v", pts[3].MeanFlushTime, pts[0].MeanFlushTime)
+	}
+	ParallelTable(pts)
+}
+
+func TestPolicyAblationsHelp(t *testing.T) {
+	rows, err := PolicyAblations(microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.With >= r.Without {
+			t.Errorf("%s: with %.2f not better than without %.2f", r.Name, r.With, r.Without)
+		}
+	}
+	AblationTable(rows)
+}
+
+func TestStaticTables(t *testing.T) {
+	var buf strings.Builder
+	Fig1Table().Print(&buf)
+	Fig12Table(microScale()).Print(&buf)
+	if !strings.Contains(buf.String(), "Flash") {
+		t.Error("static tables look empty")
+	}
+}

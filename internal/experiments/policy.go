@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/flash"
+	"envy/internal/sim"
+)
+
+// runPolicy measures steady-state cleaning cost for one configuration
+// and locality.
+func runPolicy(geo flash.Geometry, cfg cleaner.Config, dist sim.Bimodal, warm, measure int, seed uint64) (float64, error) {
+	h, err := cleaner.NewHarness(geo, cfg)
+	if err != nil {
+		return 0, err
+	}
+	h.Load()
+	n := h.LogicalPages()
+	return h.Run(sim.NewRNG(seed), dist, warm*n, measure*n), nil
+}
+
+// Fig6Row is one point of Figure 6: cleaning cost vs utilization.
+type Fig6Row struct {
+	Utilization float64
+	Analytic    float64 // u/(1-u), the paper's closed form
+	Measured    float64 // locality gathering under uniform access
+}
+
+// Fig6 reproduces Figure 6: the cleaning cost u/(1−u) as a function of
+// Flash array utilization, analytically and measured (pure locality
+// gathering under uniform access pins every segment at the global
+// utilization, so its measured cost tracks the curve).
+func Fig6(sc Scale) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, u := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		cfg := cleaner.Config{
+			Kind:              cleaner.Hybrid,
+			PartitionSegments: 1,
+			LogicalPages:      int(u * float64(sc.PolicyGeometry.Pages())),
+		}
+		measured, err := runPolicy(sc.PolicyGeometry, cfg, sim.Uniform, sc.Warm, sc.Measure, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{Utilization: u, Analytic: u / (1 - u), Measured: measured})
+	}
+	return rows, nil
+}
+
+// Fig6Table formats Fig6 results.
+func Fig6Table(rows []Fig6Row) Table {
+	t := Table{
+		Title:  "Figure 6: cleaning cost vs Flash array utilization",
+		Note:   "analytic = u/(1-u); measured = locality gathering, uniform writes",
+		Header: []string{"utilization", "analytic", "measured"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{f2(r.Utilization), f2(r.Analytic), f2(r.Measured)})
+	}
+	return t
+}
+
+// Fig8Row is one locality column of Figure 8.
+type Fig8Row struct {
+	Locality string
+	Greedy   float64
+	LG       float64 // locality gathering (hybrid, 1-segment partitions)
+	Hybrid16 float64
+	FIFO     float64 // hybrid with a single all-segment partition
+}
+
+// Fig8 reproduces Figure 8: cleaning cost of the three §4 policies
+// (plus FIFO) across localities of reference on a 128-segment array.
+func Fig8(sc Scale) ([]Fig8Row, error) {
+	geo := sc.PolicyGeometry
+	configs := []struct {
+		set func(*Fig8Row, float64)
+		cfg cleaner.Config
+	}{
+		{func(r *Fig8Row, v float64) { r.Greedy = v }, cleaner.Config{Kind: cleaner.Greedy}},
+		{func(r *Fig8Row, v float64) { r.LG = v }, cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 1}},
+		{func(r *Fig8Row, v float64) { r.Hybrid16 = v }, cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16}},
+		{func(r *Fig8Row, v float64) { r.FIFO = v }, cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: geo.Segments - 1}},
+	}
+	var rows []Fig8Row
+	for _, loc := range Localities {
+		dist, err := sim.ParseLocality(loc)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Locality: loc}
+		for _, c := range configs {
+			v, err := runPolicy(geo, c.cfg, dist, sc.Warm, sc.Measure, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			c.set(&row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Table formats Fig8 results.
+func Fig8Table(rows []Fig8Row) Table {
+	t := Table{
+		Title:  "Figure 8: comparison of cleaning algorithms",
+		Note:   "cleaning cost (cleaner programs per flushed page), 128 segments",
+		Header: []string{"locality", "greedy", "loc-gather", "hybrid-16", "fifo"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Locality, f2(r.Greedy), f2(r.LG), f2(r.Hybrid16), f2(r.FIFO)})
+	}
+	return t
+}
+
+// Fig9Row is one partition size of Figure 9.
+type Fig9Row struct {
+	PartitionSegments int
+	Cost              map[string]float64 // locality -> cleaning cost
+}
+
+// Fig9Localities is the Figure 9 legend.
+var Fig9Localities = []string{"50/50", "30/70", "20/80", "10/90", "5/95"}
+
+// Fig9 reproduces Figure 9: hybrid cleaning cost as a function of the
+// partition size, from pure locality gathering (1) to pure FIFO (all
+// segments).
+func Fig9(sc Scale) ([]Fig9Row, error) {
+	geo := sc.PolicyGeometry
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, geo.Segments - 1}
+	var rows []Fig9Row
+	for _, k := range sizes {
+		row := Fig9Row{PartitionSegments: k, Cost: map[string]float64{}}
+		for _, loc := range Fig9Localities {
+			dist, err := sim.ParseLocality(loc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: k}
+			v, err := runPolicy(geo, cfg, dist, sc.Warm, sc.Measure, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Cost[loc] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Table formats Fig9 results.
+func Fig9Table(rows []Fig9Row) Table {
+	t := Table{
+		Title:  "Figure 9: cleaning cost vs partition size (hybrid policy)",
+		Header: append([]string{"segments/partition"}, Fig9Localities...),
+	}
+	for _, r := range rows {
+		cells := []string{fmt.Sprintf("%d", r.PartitionSegments)}
+		for _, loc := range Fig9Localities {
+			cells = append(cells, f2(r.Cost[loc]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// Fig10Row is one array division of Figure 10.
+type Fig10Row struct {
+	Segments int
+	Cost     map[string]float64
+}
+
+// Fig10Localities is the Figure 10 legend.
+var Fig10Localities = []string{"50/50", "20/80", "10/90", "5/95"}
+
+// Fig10 reproduces Figure 10: for a fixed-size array divided into more
+// and more segments (fixed 8 partitions), cleaning efficiency improves
+// and then levels off.
+func Fig10(sc Scale) ([]Fig10Row, error) {
+	totalPages := sc.PolicyGeometry.Pages()
+	var rows []Fig10Row
+	for _, segs := range []int{32, 64, 128, 256, 512, 1024} {
+		pps := totalPages / segs
+		if pps < 8 {
+			continue
+		}
+		geo := flash.Geometry{PageSize: sc.PolicyGeometry.PageSize, PagesPerSegment: pps, Segments: segs + 1, Banks: 1}
+		k := (segs + 7) / 8 // fixed 8 partitions
+		row := Fig10Row{Segments: segs, Cost: map[string]float64{}}
+		for _, loc := range Fig10Localities {
+			dist, err := sim.ParseLocality(loc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: k}
+			v, err := runPolicy(geo, cfg, dist, sc.Warm, sc.Measure, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Cost[loc] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10Table formats Fig10 results.
+func Fig10Table(rows []Fig10Row) Table {
+	t := Table{
+		Title:  "Figure 10: cleaning cost vs number of segments (fixed array size, 8 partitions)",
+		Header: append([]string{"segments"}, Fig10Localities...),
+	}
+	for _, r := range rows {
+		cells := []string{fmt.Sprintf("%d", r.Segments)}
+		for _, loc := range Fig10Localities {
+			cells = append(cells, f2(r.Cost[loc]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// AblationRow compares a design choice on and off.
+type AblationRow struct {
+	Name      string
+	With      float64
+	Without   float64
+	Metric    string
+	Direction string // which way is better
+}
+
+// PolicyAblations measures the DESIGN.md cleaning-policy ablations:
+// inter-partition redistribution, and the flush-back-to-home rule
+// (approximated by greedy, which ignores homes entirely).
+func PolicyAblations(sc Scale) ([]AblationRow, error) {
+	geo := sc.PolicyGeometry
+	dist, _ := sim.ParseLocality("10/90")
+	lg := cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16}
+	with, err := runPolicy(geo, lg, dist, sc.Warm, sc.Measure, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lg.NoRedistribute = true
+	without, err := runPolicy(geo, lg, dist, sc.Warm, sc.Measure, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{{
+		Name: "inter-partition redistribution (10/90)", With: with, Without: without,
+		Metric: "cleaning cost", Direction: "lower is better",
+	}}
+	return rows, nil
+}
+
+// AblationTable formats ablation results.
+func AblationTable(rows []AblationRow) Table {
+	t := Table{
+		Title:  "Design-choice ablations",
+		Header: []string{"choice", "with", "without", "metric"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Name, f2(r.With), f2(r.Without), r.Metric + " (" + r.Direction + ")"})
+	}
+	return t
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/lifetime"
+	"envy/internal/sim"
+	"envy/internal/stats"
+	"envy/internal/tpca"
+)
+
+// systemConfig builds the full-system device configuration for a scale.
+func systemConfig(sc Scale) core.Config {
+	return core.Config{
+		Geometry:    sc.SystemGeometry,
+		Cleaning:    cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16, WearThreshold: 100},
+		BufferPages: sc.BufferPages,
+	}
+}
+
+// newBank builds a fresh device plus TPC-A database.
+func newBank(sc Scale, mod func(*core.Config)) (*tpca.Bank, error) {
+	cfg := systemConfig(sc)
+	if mod != nil {
+		mod(&cfg)
+	}
+	dev, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tpca.Setup(dev, tpca.Config{
+		Branches:          sc.Branches,
+		AccountsPerTeller: sc.AccountsPerTeller,
+		Seed:              sc.Seed,
+		InitialBalance:    1000,
+	})
+}
+
+// runRate ages and warms a fresh bank, then measures one offered
+// rate. Warm-up repeats until the flush path has engaged (or a cap),
+// so measured flush rates and cleaning costs reflect steady state.
+func runRate(sc Scale, rate float64, mod func(*core.Config)) (tpca.Results, error) {
+	bank, err := newBank(sc, mod)
+	if err != nil {
+		return tpca.Results{}, err
+	}
+	if sc.AgeWrites > 0 {
+		bank.Device().Churn(sc.AgeWrites, sc.Seed^0xa6e)
+	}
+	dr := tpca.NewDriver(bank)
+	for chunk := 0; chunk < 10; chunk++ {
+		res, err := dr.Run(rate, sc.WarmTime)
+		if err != nil {
+			return tpca.Results{}, err
+		}
+		if chunk >= 1 && res.Counters.Flushes > 0 {
+			break
+		}
+	}
+	return dr.Run(rate, sc.SimTime)
+}
+
+// Fig12Table echoes the simulation parameters (Figure 12) for a scale.
+func Fig12Table(sc Scale) Table {
+	geo := sc.SystemGeometry
+	timing := flash.PaperTiming()
+	t := Table{
+		Title:  "Figure 12: simulation parameters (" + sc.Name + " scale)",
+		Header: []string{"parameter", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("Flash array size", fmt.Sprintf("%d MB", geo.Capacity()>>20))
+	add("segments", fmt.Sprintf("%d x %d KB", geo.Segments, int64(geo.PagesPerSegment)*int64(geo.PageSize)>>10))
+	add("banks", fmt.Sprintf("%d", geo.Banks))
+	add("page size", fmt.Sprintf("%d bytes", geo.PageSize))
+	add("read time", ns(timing.Read))
+	add("program time", ns(timing.Program))
+	add("erase time", fmt.Sprintf("%.0fms", timing.Erase.Seconds()*1000))
+	add("write buffer", fmt.Sprintf("%d pages (%d KB)", sc.BufferPages, sc.BufferPages*geo.PageSize>>10))
+	add("cleaning", "hybrid, 16 segments/partition, wear threshold 100")
+	add("utilization cap", "80%")
+	add("TPC-A branches", fmt.Sprintf("%d", sc.Branches))
+	add("TPC-A tellers", fmt.Sprintf("%d", sc.Branches*tpca.TellersPerBranch))
+	add("TPC-A accounts", fmt.Sprintf("%d", sc.Branches*tpca.TellersPerBranch*sc.AccountsPerTeller))
+	return t
+}
+
+// RatePoint is one offered-rate measurement, feeding Figures 13 and 15.
+type RatePoint struct {
+	Offered          float64
+	TPS              float64
+	ReadMean         sim.Duration
+	WriteMean        sim.Duration
+	TxnMean          sim.Duration
+	FlushPagesPerSec float64
+	CleaningCost     float64
+}
+
+// RateSweep drives TPC-A at each offered rate in the scale (fresh,
+// warmed device per point). It feeds Figure 13 (throughput) and
+// Figure 15 (latency).
+func RateSweep(sc Scale) ([]RatePoint, error) {
+	var pts []RatePoint
+	for _, rate := range sc.Rates {
+		res, err := runRate(sc, rate, nil)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, RatePoint{
+			Offered:          rate,
+			TPS:              res.TPS,
+			ReadMean:         res.ReadMean,
+			WriteMean:        res.WriteMean,
+			TxnMean:          res.TxnLatency.Mean(),
+			FlushPagesPerSec: res.FlushPagesPerSec,
+			CleaningCost:     res.CleaningCost,
+		})
+	}
+	return pts, nil
+}
+
+// Fig13Table formats the throughput half of a rate sweep.
+func Fig13Table(pts []RatePoint) Table {
+	t := Table{
+		Title:  "Figure 13: throughput vs transaction request rate",
+		Note:   "completed TPS tracks the offered rate until the cleaning system saturates",
+		Header: []string{"offered TPS", "completed TPS"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{f0(p.Offered), f0(p.TPS)})
+	}
+	return t
+}
+
+// Fig15Table formats the latency half of a rate sweep.
+func Fig15Table(pts []RatePoint) Table {
+	t := Table{
+		Title:  "Figure 15: I/O latency vs transaction request rate",
+		Note:   "write latency jumps once the write buffer saturates",
+		Header: []string{"offered TPS", "read mean", "write mean", "txn mean"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{f0(p.Offered), ns(p.ReadMean), ns(p.WriteMean), ns(p.TxnMean)})
+	}
+	return t
+}
+
+// UtilPoint is one array-utilization measurement for Figure 14.
+type UtilPoint struct {
+	Utilization float64
+	TPS         map[string]float64 // rate label -> completed TPS
+}
+
+// Fig14Rates labels the Figure 14 curves as fractions of the highest
+// offered rate in the scale.
+var fig14Fracs = []float64{0.25, 0.5, 0.75, 1.0}
+
+// Fig14 reproduces Figure 14: completed throughput as a function of
+// Flash array utilization. The database size is fixed; utilization is
+// varied by growing or shrinking the array (extra segments = free
+// space). Throughput collapses past ~80% utilization.
+func Fig14(sc Scale) ([]UtilPoint, []string, error) {
+	base := sc.SystemGeometry
+	dbSegs := base.Segments * 8 / 10 // segments the 80% database occupies
+	var labels []string
+	top := sc.Rates[len(sc.Rates)-1]
+	for _, f := range fig14Fracs {
+		labels = append(labels, f0(top*f)+" TPS")
+	}
+	var pts []UtilPoint
+	for _, u := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		segs := int(float64(dbSegs)/u + 0.5)
+		if segs <= dbSegs {
+			segs = dbSegs + 1
+		}
+		if segs%base.Banks != 0 {
+			segs += base.Banks - segs%base.Banks
+		}
+		geo := base
+		geo.Segments = segs
+		actual := float64(dbSegs) / float64(segs)
+		pt := UtilPoint{Utilization: actual, TPS: map[string]float64{}}
+		for i, f := range fig14Fracs {
+			rate := top * f
+			res, err := runRate(sc, rate, func(c *core.Config) {
+				c.Geometry = geo
+				// Keep the logical space equal to the fixed database
+				// size so only free space varies.
+				c.Cleaning.LogicalPages = dbSegs * base.PagesPerSegment
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			pt.TPS[labels[i]] = res.TPS
+		}
+		pts = append(pts, pt)
+	}
+	return pts, labels, nil
+}
+
+// Fig14Table formats Fig14 results.
+func Fig14Table(pts []UtilPoint, labels []string) Table {
+	t := Table{
+		Title:  "Figure 14: throughput vs Flash array utilization",
+		Header: append([]string{"utilization"}, labels...),
+	}
+	for _, p := range pts {
+		cells := []string{f2(p.Utilization)}
+		for _, l := range labels {
+			cells = append(cells, f0(p.TPS[l]))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}
+
+// BreakdownResult is the §5.3 controller-time breakdown at saturation.
+type BreakdownResult struct {
+	TPS       float64
+	Reading   float64
+	Writing   float64
+	Flushing  float64
+	Cleaning  float64
+	Erasing   float64
+	Idle      float64
+	Breakdown stats.Breakdown
+}
+
+// Breakdown measures where the controller spends its time when driven
+// at (approximately) its saturation rate, reproducing §5.3's "40%
+// reads, 30% cleaning, 15% flushing, 15% erasing".
+func Breakdown(sc Scale) (BreakdownResult, error) {
+	// Offer far beyond capacity so the device is never idle.
+	rate := sc.Rates[len(sc.Rates)-1] * 4
+	res, err := runRate(sc, rate, nil)
+	if err != nil {
+		return BreakdownResult{}, err
+	}
+	b := res.Breakdown
+	return BreakdownResult{
+		TPS:       res.TPS,
+		Reading:   b.Fraction(stats.Reading),
+		Writing:   b.Fraction(stats.Writing),
+		Flushing:  b.Fraction(stats.Flushing),
+		Cleaning:  b.Fraction(stats.Cleaning),
+		Erasing:   b.Fraction(stats.Erasing),
+		Idle:      b.Fraction(stats.Idle),
+		Breakdown: b,
+	}, nil
+}
+
+// BreakdownTable formats the §5.3 breakdown.
+func BreakdownTable(r BreakdownResult) Table {
+	t := Table{
+		Title:  "§5.3: controller time breakdown at saturation",
+		Note:   fmt.Sprintf("sustained %.0f TPS; paper reports ~40%% reads, 30%% cleaning, 15%% flushing, 15%% erasing", r.TPS),
+		Header: []string{"activity", "share"},
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+	t.Rows = [][]string{
+		{"reading", pct(r.Reading)},
+		{"writing", pct(r.Writing)},
+		{"flushing", pct(r.Flushing)},
+		{"cleaning", pct(r.Cleaning)},
+		{"erasing", pct(r.Erasing)},
+		{"idle", pct(r.Idle)},
+	}
+	return t
+}
+
+// LifetimeResult pairs the paper's closed-form §5.5 example with an
+// estimate from a measured run at the scale's mid rate.
+type LifetimeResult struct {
+	PaperFormula lifetime.Estimate
+	Measured     lifetime.Estimate
+	MeasuredTPS  float64
+}
+
+// Lifetime reproduces §5.5, measuring at the scale's second rate
+// point (10,000 TPS at paper scale, matching the paper's example).
+// The flush path drains in high-water/low-water sawtooths, so the
+// measurement window spans several periods.
+func Lifetime(sc Scale) (LifetimeResult, error) {
+	rate := sc.Rates[0]
+	if len(sc.Rates) > 1 {
+		rate = sc.Rates[1]
+	}
+	long := sc
+	long.SimTime = 8 * sc.SimTime
+	res, err := runRate(long, rate, nil)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	geo := sc.SystemGeometry
+	return LifetimeResult{
+		PaperFormula: lifetime.PaperExample(),
+		Measured: lifetime.Estimate{
+			CapacityBytes: geo.Capacity(),
+			PageBytes:     geo.PageSize,
+			SpecCycles:    flash.PaperTiming().SpecCycles,
+			FlushRate:     res.FlushPagesPerSec,
+			CleaningCost:  res.CleaningCost,
+		},
+		MeasuredTPS: res.TPS,
+	}, nil
+}
+
+// LifetimeTable formats §5.5.
+func LifetimeTable(r LifetimeResult) Table {
+	t := Table{
+		Title:  "§5.5: estimated eNVy lifetime",
+		Header: []string{"source", "flush pages/s", "cleaning cost", "lifetime"},
+	}
+	t.Rows = append(t.Rows, []string{
+		"paper formula (2GB, 10k TPS)",
+		f0(r.PaperFormula.FlushRate), f2(r.PaperFormula.CleaningCost),
+		fmt.Sprintf("%.0f days (%.2f years)", r.PaperFormula.Days(), r.PaperFormula.Years()),
+	})
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("measured (%s scale, %.0f TPS)", "this run", r.MeasuredTPS),
+		f0(r.Measured.FlushRate), f2(r.Measured.CleaningCost),
+		fmt.Sprintf("%.0f days (%.2f years)", r.Measured.Days(), r.Measured.Years()),
+	})
+	return t
+}
+
+// ParallelPoint measures the §6 parallel-bank extension.
+type ParallelPoint struct {
+	ParallelFlush int
+	MeanFlushTime sim.Duration // flushing time per flushed page
+	TPS           float64
+	WriteMean     sim.Duration
+}
+
+// ParallelOne measures a single concurrency level of the §6
+// parallel-bank extension.
+func ParallelOne(sc Scale, par int) ([]ParallelPoint, error) {
+	rate := sc.Rates[len(sc.Rates)-1] * 2
+	res, err := runRate(sc, rate, func(c *core.Config) { c.ParallelFlush = par })
+	if err != nil {
+		return nil, err
+	}
+	var per sim.Duration
+	if res.Counters.Flushes > 0 {
+		per = res.Breakdown.Get(stats.Flushing) / sim.Duration(res.Counters.Flushes)
+	}
+	return []ParallelPoint{{ParallelFlush: par, MeanFlushTime: per, TPS: res.TPS, WriteMean: res.WriteMean}}, nil
+}
+
+// Parallel reproduces the §6 claim that 4–8 concurrent bank programs
+// cut the average page flush time from 4 µs toward 1 µs (and raise the
+// saturated throughput).
+func Parallel(sc Scale) ([]ParallelPoint, error) {
+	var pts []ParallelPoint
+	for _, par := range []int{1, 2, 4, 8} {
+		one, err := ParallelOne(sc, par)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, one...)
+	}
+	return pts, nil
+}
+
+// ParallelTable formats the §6 extension results.
+func ParallelTable(pts []ParallelPoint) Table {
+	t := Table{
+		Title:  "§6: parallel bank programming extension",
+		Note:   "paper: 4-8 concurrent programs drop the mean flush time from 4µs to <1µs",
+		Header: []string{"concurrent ops", "mean flush time", "saturated TPS", "write mean"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.ParallelFlush), ns(p.MeanFlushTime), f0(p.TPS), ns(p.WriteMean),
+		})
+	}
+	return t
+}
+
+// Fig1Table reproduces the storage technology comparison (Figure 1) —
+// static 1994 numbers, included for completeness.
+func Fig1Table() Table {
+	return Table{
+		Title:  "Figure 1: feature comparison of storage technologies (1994 values)",
+		Header: []string{"feature", "disk", "DRAM", "SRAM (low power)", "Flash"},
+		Rows: [][]string{
+			{"read access", "8.3ms", "60ns", "85ns", "85ns"},
+			{"write access", "8.3ms", "60ns", "85ns", "4-10µs"},
+			{"cost/MByte", "$1.00", "$35.00", "$120", "$30.00"},
+			{"data retention current/GByte", "0A", "1A", "2mA", "0A"},
+		},
+	}
+}

@@ -1,0 +1,262 @@
+package flash
+
+import (
+	"fmt"
+
+	"envy/internal/sim"
+)
+
+// This file models a single Flash chip at the level the paper's §2
+// describes: an EPROM-like byte-wide array driven through a Command
+// User Interface (CUI). "A Flash chip normally operates in an
+// EPROM-like read only mode. All other functions are initiated by
+// writing commands to an internal Command User Interface. Commands
+// exist for programming and verifying bytes, erasing blocks, checking
+// status, and suspending long operations."
+//
+// The bank-level Array elsewhere in this package is the abstraction
+// eNVy's controller programs against (256 such chips in lockstep);
+// Chip exists to pin the physical semantics that abstraction relies
+// on — in particular that programming can only clear bits (1→0), that
+// only a block erase restores them, and that long operations can be
+// suspended for reads and resumed.
+
+// Command is a CUI command code. The values follow the common Intel
+// 28F-series encoding of the era.
+type Command byte
+
+// CUI command codes.
+const (
+	CmdReadArray    Command = 0xFF
+	CmdProgram      Command = 0x40
+	CmdErase        Command = 0x20
+	CmdEraseConfirm Command = 0xD0
+	CmdStatus       Command = 0x70
+	CmdClearStatus  Command = 0x50
+	CmdSuspend      Command = 0xB0
+	CmdResume       Command = 0xD0
+)
+
+// Status register bits.
+const (
+	StatusReady     byte = 1 << 7 // write state machine idle
+	StatusSuspended byte = 1 << 6
+	StatusEraseErr  byte = 1 << 5
+	StatusPgmErr    byte = 1 << 4
+)
+
+// chipMode is the CUI state.
+type chipMode int
+
+const (
+	modeReadArray chipMode = iota
+	modeProgramSetup
+	modeEraseSetup
+	modeBusy
+	modeSuspended
+	modeStatus
+)
+
+// ChipGeometry describes one chip: an array of bytes divided into
+// independently erasable blocks (~64 KB in newer chips per §2).
+type ChipGeometry struct {
+	BlockBytes int
+	Blocks     int
+}
+
+// Chip is one byte-wide Flash device. It is driven like hardware:
+// write commands, poll status, read the array. All methods take the
+// current simulated time so the chip can model operation durations.
+type Chip struct {
+	geo    ChipGeometry
+	timing Timing
+	data   []byte
+
+	mode      chipMode
+	status    byte
+	busyUntil sim.Time
+	busyLeft  sim.Duration // remaining busy time, re-added on resume
+
+	// In-flight operation.
+	opIsErase bool
+	opAddr    int // byte address (program) or block index (erase)
+	opData    byte
+
+	erases []int64 // per block
+}
+
+// NewChip returns an erased chip (all bytes 0xFF, as real Flash reads
+// after erase).
+func NewChip(geo ChipGeometry, timing Timing) (*Chip, error) {
+	if geo.BlockBytes <= 0 || geo.Blocks <= 0 {
+		return nil, fmt.Errorf("flash: bad chip geometry %+v", geo)
+	}
+	c := &Chip{
+		geo:    geo,
+		timing: timing,
+		data:   make([]byte, geo.BlockBytes*geo.Blocks),
+		erases: make([]int64, geo.Blocks),
+	}
+	for i := range c.data {
+		c.data[i] = 0xFF
+	}
+	return c, nil
+}
+
+// Size returns the chip capacity in bytes.
+func (c *Chip) Size() int { return len(c.data) }
+
+// BlockErases returns the program/erase cycles a block has seen.
+func (c *Chip) BlockErases(block int) int64 { return c.erases[block] }
+
+// advance settles any finished operation at time now.
+func (c *Chip) advance(now sim.Time) {
+	if c.mode == modeBusy && now >= c.busyUntil {
+		c.finishOp()
+	}
+}
+
+func (c *Chip) finishOp() {
+	if c.opIsErase {
+		base := c.opAddr * c.geo.BlockBytes
+		for i := 0; i < c.geo.BlockBytes; i++ {
+			c.data[base+i] = 0xFF
+		}
+		c.erases[c.opAddr]++
+	} else {
+		// Programming can only clear bits: AND with existing contents.
+		c.data[c.opAddr] &= c.opData
+	}
+	c.mode = modeStatus
+	c.status |= StatusReady
+}
+
+// WriteCommand drives the CUI. Programming is the §2 two-cycle
+// sequence (CmdProgram, then the data byte at the target address);
+// erasing is CmdErase + CmdEraseConfirm at an address inside the
+// target block.
+func (c *Chip) WriteCommand(now sim.Time, addr int, value byte) error {
+	c.advance(now)
+	if addr < 0 || addr >= len(c.data) {
+		return fmt.Errorf("flash: chip address %d out of range", addr)
+	}
+	switch c.mode {
+	case modeProgramSetup:
+		// Second cycle: the value is the data to program at addr.
+		c.mode = modeBusy
+		c.status &^= StatusReady
+		c.opIsErase = false
+		c.opAddr = addr
+		c.opData = value
+		c.busyUntil = now.Add(c.timing.Program)
+		return nil
+	case modeEraseSetup:
+		if Command(value) != CmdEraseConfirm {
+			c.mode = modeStatus
+			c.status |= StatusEraseErr | StatusReady
+			return fmt.Errorf("flash: erase not confirmed (got %#x)", value)
+		}
+		c.mode = modeBusy
+		c.status &^= StatusReady
+		c.opIsErase = true
+		c.opAddr = addr / c.geo.BlockBytes
+		c.busyUntil = now.Add(c.timing.Erase)
+		return nil
+	case modeBusy:
+		if Command(value) == CmdSuspend {
+			c.busyLeft = c.busyUntil.Sub(now)
+			c.mode = modeSuspended
+			c.status |= StatusSuspended
+			return nil
+		}
+		return fmt.Errorf("flash: chip busy")
+	case modeSuspended:
+		if Command(value) == CmdResume {
+			c.mode = modeBusy
+			c.status &^= StatusSuspended
+			c.busyUntil = now.Add(c.busyLeft)
+			return nil
+		}
+		if Command(value) == CmdReadArray {
+			// Reads are allowed while suspended; stay suspended.
+			return nil
+		}
+		return fmt.Errorf("flash: operation suspended; resume first")
+	}
+	switch Command(value) {
+	case CmdReadArray:
+		c.mode = modeReadArray
+	case CmdProgram:
+		c.mode = modeProgramSetup
+	case CmdErase:
+		c.mode = modeEraseSetup
+	case CmdStatus:
+		c.mode = modeStatus
+	case CmdClearStatus:
+		c.status &^= StatusEraseErr | StatusPgmErr
+	case CmdSuspend, CmdEraseConfirm:
+		return fmt.Errorf("flash: command %#x invalid while idle", value)
+	default:
+		return fmt.Errorf("flash: unknown command %#x", value)
+	}
+	return nil
+}
+
+// ReadArray reads the array (in read-array mode, or while an erase of a
+// *different* block is suspended) or the status register.
+func (c *Chip) ReadArray(now sim.Time, addr int) (byte, error) {
+	c.advance(now)
+	if addr < 0 || addr >= len(c.data) {
+		return 0, fmt.Errorf("flash: chip address %d out of range", addr)
+	}
+	switch c.mode {
+	case modeStatus:
+		return c.status, nil
+	case modeReadArray:
+		return c.data[addr], nil
+	case modeSuspended:
+		if c.opIsErase && addr/c.geo.BlockBytes == c.opAddr {
+			return 0, fmt.Errorf("flash: block %d is mid-erase", c.opAddr)
+		}
+		return c.data[addr], nil
+	case modeBusy:
+		return c.status, nil // hardware returns status while busy
+	default:
+		return c.data[addr], nil
+	}
+}
+
+// Ready reports whether the write state machine is idle at time now.
+func (c *Chip) Ready(now sim.Time) bool {
+	c.advance(now)
+	return c.mode != modeBusy && c.mode != modeSuspended
+}
+
+// Program is the convenience sequence the eNVy memory controller
+// issues in hardware: program setup + data, then wait for completion.
+// It returns the time at which the chip is ready again.
+func (c *Chip) Program(now sim.Time, addr int, value byte) (sim.Time, error) {
+	if err := c.WriteCommand(now, addr, byte(CmdProgram)); err != nil {
+		return now, err
+	}
+	if err := c.WriteCommand(now, addr, value); err != nil {
+		return now, err
+	}
+	return c.busyUntil, nil
+}
+
+// EraseBlock is the erase setup/confirm sequence; it returns the time
+// at which the chip is ready again.
+func (c *Chip) EraseBlock(now sim.Time, block int) (sim.Time, error) {
+	if block < 0 || block >= c.geo.Blocks {
+		return now, fmt.Errorf("flash: block %d out of range", block)
+	}
+	addr := block * c.geo.BlockBytes
+	if err := c.WriteCommand(now, addr, byte(CmdErase)); err != nil {
+		return now, err
+	}
+	if err := c.WriteCommand(now, addr, byte(CmdEraseConfirm)); err != nil {
+		return now, err
+	}
+	return c.busyUntil, nil
+}

@@ -1,0 +1,207 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"envy/internal/sim"
+)
+
+func testChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := NewChip(ChipGeometry{BlockBytes: 256, Blocks: 4}, PaperTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChipErasedReadsFF(t *testing.T) {
+	c := testChip(t)
+	for _, addr := range []int{0, 100, 1023} {
+		v, err := c.ReadArray(0, addr)
+		if err != nil || v != 0xFF {
+			t.Fatalf("fresh chip [%d] = %#x, %v", addr, v, err)
+		}
+	}
+}
+
+func TestChipProgramSequence(t *testing.T) {
+	c := testChip(t)
+	ready, err := c.Program(0, 10, 0xA5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(4 * sim.Microsecond); ready != want {
+		t.Errorf("ready at %v, want %v", ready, want)
+	}
+	// While busy, reads return status, not data.
+	st, _ := c.ReadArray(ready.Add(-sim.Microsecond), 10)
+	if st&StatusReady != 0 {
+		t.Error("status shows ready while busy")
+	}
+	// After completion, switch to read-array mode and check the byte.
+	if err := c.WriteCommand(ready, 0, byte(CmdReadArray)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.ReadArray(ready, 10)
+	if v != 0xA5 {
+		t.Errorf("programmed byte = %#x", v)
+	}
+}
+
+// TestChipProgramOnlyClearsBits pins the write-once physics: a second
+// program can only clear more bits; restoring 0→1 needs an erase.
+func TestChipProgramOnlyClearsBits(t *testing.T) {
+	c := testChip(t)
+	now, _ := c.Program(0, 0, 0xF0)
+	now, _ = c.Program(now, 0, 0x0F)
+	c.WriteCommand(now, 0, byte(CmdReadArray))
+	v, _ := c.ReadArray(now, 0)
+	if v != 0x00 {
+		t.Errorf("0xF0 then 0x0F programmed = %#x, want 0x00 (AND semantics)", v)
+	}
+	ready, err := c.EraseBlock(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WriteCommand(ready, 0, byte(CmdReadArray))
+	v, _ = c.ReadArray(ready, 0)
+	if v != 0xFF {
+		t.Errorf("byte after erase = %#x", v)
+	}
+	if c.BlockErases(0) != 1 {
+		t.Errorf("block erases = %d", c.BlockErases(0))
+	}
+}
+
+func TestChipProgramANDProperty(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		c, err := NewChip(ChipGeometry{BlockBytes: 256, Blocks: 4}, PaperTiming())
+		if err != nil {
+			return false
+		}
+		now, _ := c.Program(0, 5, a)
+		now, _ = c.Program(now, 5, b)
+		c.WriteCommand(now, 5, byte(CmdReadArray))
+		v, _ := c.ReadArray(now, 5)
+		return v == a&b
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChipEraseIsPerBlock(t *testing.T) {
+	c := testChip(t)
+	now, _ := c.Program(0, 0, 0x11)    // block 0
+	now, _ = c.Program(now, 300, 0x22) // block 1
+	now, err := c.EraseBlock(now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WriteCommand(now, 0, byte(CmdReadArray))
+	v0, _ := c.ReadArray(now, 0)
+	v1, _ := c.ReadArray(now, 300)
+	if v0 != 0xFF {
+		t.Errorf("erased block byte = %#x", v0)
+	}
+	if v1 != 0x22 {
+		t.Errorf("neighbouring block byte = %#x, want untouched 0x22", v1)
+	}
+}
+
+func TestChipBusyRejectsCommands(t *testing.T) {
+	c := testChip(t)
+	c.Program(0, 0, 0x00)
+	if err := c.WriteCommand(sim.Time(1*sim.Microsecond), 1, byte(CmdProgram)); err == nil {
+		t.Error("command accepted while busy")
+	}
+	if c.Ready(sim.Time(1 * sim.Microsecond)) {
+		t.Error("chip ready mid-program")
+	}
+	if !c.Ready(sim.Time(5 * sim.Microsecond)) {
+		t.Error("chip not ready after program time")
+	}
+}
+
+// TestChipEraseSuspend pins §2's "suspending long operations": a read
+// from another block proceeds mid-erase, and the erase completes after
+// resume with the full remaining time honoured.
+func TestChipEraseSuspend(t *testing.T) {
+	c := testChip(t)
+	now, _ := c.Program(0, 300, 0x22) // block 1 holds data
+	start := now
+	if _, err := c.EraseBlock(start, 0); err != nil {
+		t.Fatal(err)
+	}
+	mid := start.Add(10 * sim.Millisecond) // erase takes 50ms
+	if err := c.WriteCommand(mid, 0, byte(CmdSuspend)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.ReadArray(mid, 300)
+	if err != nil || v != 0x22 {
+		t.Fatalf("read during suspended erase = %#x, %v", v, err)
+	}
+	// The suspended block itself is not readable.
+	if _, err := c.ReadArray(mid, 0); err == nil {
+		t.Error("read of mid-erase block succeeded")
+	}
+	resumeAt := mid.Add(5 * sim.Millisecond)
+	if err := c.WriteCommand(resumeAt, 0, byte(CmdResume)); err != nil {
+		t.Fatal(err)
+	}
+	// 10ms elapsed before suspend, so 40ms remain after resume.
+	tooEarly := resumeAt.Add(39 * sim.Millisecond)
+	if c.Ready(tooEarly) {
+		t.Error("erase finished early despite suspension")
+	}
+	done := resumeAt.Add(41 * sim.Millisecond)
+	if !c.Ready(done) {
+		t.Error("erase not finished after remaining time")
+	}
+	c.WriteCommand(done, 0, byte(CmdReadArray))
+	if v, _ := c.ReadArray(done, 0); v != 0xFF {
+		t.Errorf("erased byte = %#x", v)
+	}
+}
+
+func TestChipEraseRequiresConfirm(t *testing.T) {
+	c := testChip(t)
+	if err := c.WriteCommand(0, 0, byte(CmdErase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteCommand(0, 0, 0x99); err == nil {
+		t.Error("unconfirmed erase accepted")
+	}
+	// The error latches in the status register until cleared.
+	c.WriteCommand(0, 0, byte(CmdStatus))
+	st, _ := c.ReadArray(0, 0)
+	if st&StatusEraseErr == 0 {
+		t.Error("erase error not latched")
+	}
+	c.WriteCommand(0, 0, byte(CmdClearStatus))
+	c.WriteCommand(0, 0, byte(CmdStatus))
+	st, _ = c.ReadArray(0, 0)
+	if st&StatusEraseErr != 0 {
+		t.Error("erase error not cleared")
+	}
+}
+
+func TestChipInvalidConstruction(t *testing.T) {
+	if _, err := NewChip(ChipGeometry{}, PaperTiming()); err == nil {
+		t.Error("zero geometry accepted")
+	}
+}
+
+func TestChipAddressBounds(t *testing.T) {
+	c := testChip(t)
+	if _, err := c.ReadArray(0, c.Size()); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := c.WriteCommand(0, -1, byte(CmdReadArray)); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, err := c.EraseBlock(0, 99); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+}

@@ -1,0 +1,387 @@
+// Package flash models the eNVy Flash memory array: banks of 256
+// byte-wide chips whose rows of erase blocks form large, independently
+// erasable "segments" (§3.3, Figure 4).
+//
+// The model captures everything the eNVy evaluation depends on:
+//
+//   - write-once semantics: a physical page must be erased (Free)
+//     before it can be programmed, and programmed pages cannot be
+//     rewritten until the whole segment is erased;
+//   - bulk erase: only whole segments erase, taking ~50 ms;
+//   - asymmetric timing: ~100 ns reads and wide-bank transfers versus
+//     ~4 µs page programs (Figure 12);
+//   - endurance: per-segment program/erase cycle counters, an optional
+//     wear-dependent slowdown, and the spec'd cycle budget that the
+//     lifetime estimate (§5.5) divides by.
+//
+// The array optionally stores page payloads. Timing-only studies (the
+// 2 GB TPC-A runs) can disable payload storage with Dataless to keep
+// host memory use proportional to metadata, not capacity.
+package flash
+
+import (
+	"fmt"
+
+	"envy/internal/sim"
+)
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+// Page lifecycle: erased pages are Free, programming makes them Valid,
+// copy-on-write or cleaning makes stale copies Invalid, and only a
+// segment erase returns Invalid pages to Free.
+const (
+	Free PageState = iota
+	Valid
+	Invalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("PageState(%d)", uint8(s))
+}
+
+// NoPage is the sentinel "no physical page" value.
+const NoPage = ^uint32(0)
+
+// Geometry describes the physical organization of the array.
+type Geometry struct {
+	PageSize        int // bytes per page; the bank width (256 in the paper)
+	PagesPerSegment int // pages in one independently erasable segment
+	Segments        int // number of segments in the array
+	Banks           int // independently programmable banks (8 in the paper)
+}
+
+// Paper-scale geometry from Figure 12: 2 GB of Flash in 8 banks of 256
+// one-megabyte chips, 128 segments of 16 MB, 256-byte pages.
+func PaperGeometry() Geometry {
+	return Geometry{PageSize: 256, PagesPerSegment: 64 * 1024, Segments: 128, Banks: 8}
+}
+
+// SmallGeometry is a scaled-down profile used by tests and default
+// benchmarks: 128 segments of 256 pages (8 MB total). Cleaning-policy
+// behaviour depends on segment counts and utilization, not absolute
+// size, so shapes measured here match the paper-scale profile.
+func SmallGeometry() Geometry {
+	return Geometry{PageSize: 256, PagesPerSegment: 256, Segments: 128, Banks: 8}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize must be positive, got %d", g.PageSize)
+	case g.PagesPerSegment <= 0:
+		return fmt.Errorf("flash: PagesPerSegment must be positive, got %d", g.PagesPerSegment)
+	case g.Segments < 2:
+		return fmt.Errorf("flash: need at least 2 segments (one spare for cleaning), got %d", g.Segments)
+	case g.Banks <= 0:
+		return fmt.Errorf("flash: Banks must be positive, got %d", g.Banks)
+	case g.Segments%g.Banks != 0:
+		return fmt.Errorf("flash: Segments (%d) must divide evenly into Banks (%d)", g.Segments, g.Banks)
+	}
+	return nil
+}
+
+// Pages returns the total number of physical pages.
+func (g Geometry) Pages() int { return g.PagesPerSegment * g.Segments }
+
+// Capacity returns the array capacity in bytes.
+func (g Geometry) Capacity() int64 {
+	return int64(g.PageSize) * int64(g.PagesPerSegment) * int64(g.Segments)
+}
+
+// BankOf returns the bank a segment's chips belong to. Segments are
+// striped across banks so that consecutive segments land in different
+// banks, which is what lets the §6 extension run concurrent programs.
+func (g Geometry) BankOf(segment int) int { return segment % g.Banks }
+
+// PPN composes a physical page number from a segment index and a page
+// index within that segment.
+func (g Geometry) PPN(segment, page int) uint32 {
+	return uint32(segment*g.PagesPerSegment + page)
+}
+
+// Split decomposes a physical page number.
+func (g Geometry) Split(ppn uint32) (segment, page int) {
+	return int(ppn) / g.PagesPerSegment, int(ppn) % g.PagesPerSegment
+}
+
+// Timing holds the Flash chip timing constants (Figure 12) plus the
+// endurance model from §2.
+type Timing struct {
+	Read     sim.Duration // random read access (100 ns)
+	Transfer sim.Duration // one bank-wide page transfer cycle (100 ns)
+	Program  sim.Duration // bank-parallel page program (4 µs)
+	Erase    sim.Duration // segment erase (50 ms)
+
+	// SpecCycles is the manufacturer-guaranteed program/erase cycle
+	// count per block (1,000,000 for the paper's parts).
+	SpecCycles int64
+
+	// WearSlowdown, if nonzero, degrades Program and Erase times
+	// linearly with use: at SpecCycles accumulated cycles the
+	// operations take (1+WearSlowdown)× their nominal time (§2 notes
+	// that program and erase times slightly degrade per cycle).
+	WearSlowdown float64
+}
+
+// PaperTiming returns the Figure 12 timing constants.
+func PaperTiming() Timing {
+	return Timing{
+		Read:       100 * sim.Nanosecond,
+		Transfer:   100 * sim.Nanosecond,
+		Program:    4 * sim.Microsecond,
+		Erase:      50 * sim.Millisecond,
+		SpecCycles: 1_000_000,
+	}
+}
+
+// segment is the per-segment state: page lifecycle, reverse map from
+// physical page to the logical page stored there, wear, and payloads.
+type segment struct {
+	state   []PageState
+	owner   []uint32 // logical page stored in each physical page; NoPage if none
+	data    []byte   // nil until first program when payloads are enabled
+	free    int
+	live    int
+	invalid int
+	erases  int64 // program/erase cycles this segment has consumed
+}
+
+// Array is the Flash array. It is not safe for concurrent use; the
+// eNVy controller serializes access, as the hardware memory controller
+// does in the paper.
+type Array struct {
+	geo      Geometry
+	timing   Timing
+	dataless bool
+	segs     []segment
+	programs int64 // total page program operations, across all segments
+}
+
+// Option configures an Array.
+type Option func(*Array)
+
+// Dataless disables payload storage: programs record page state and
+// ownership but discard contents, and Page returns nil. Used for large
+// timing-only simulations.
+func Dataless() Option { return func(a *Array) { a.dataless = true } }
+
+// New returns an erased Flash array with the given geometry and timing.
+func New(geo Geometry, timing Timing, opts ...Option) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{geo: geo, timing: timing}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.segs = make([]segment, geo.Segments)
+	for i := range a.segs {
+		a.segs[i] = segment{
+			state: make([]PageState, geo.PagesPerSegment),
+			owner: make([]uint32, geo.PagesPerSegment),
+			free:  geo.PagesPerSegment,
+		}
+		for j := range a.segs[i].owner {
+			a.segs[i].owner[j] = NoPage
+		}
+	}
+	return a, nil
+}
+
+// Geometry returns the array's physical organization.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the chip timing constants.
+func (a *Array) Timing() Timing { return a.timing }
+
+// ReadTime returns the latency of a random page (or word) read.
+func (a *Array) ReadTime() sim.Duration { return a.timing.Read }
+
+// TransferTime returns the latency of one bank-wide page transfer.
+func (a *Array) TransferTime() sim.Duration { return a.timing.Transfer }
+
+// wearFactor returns the multiplicative slowdown for long operations on
+// the given segment, per the Timing wear model.
+func (a *Array) wearFactor(seg int) float64 {
+	if a.timing.WearSlowdown == 0 || a.timing.SpecCycles == 0 {
+		return 1
+	}
+	return 1 + a.timing.WearSlowdown*float64(a.segs[seg].erases)/float64(a.timing.SpecCycles)
+}
+
+// ProgramTime returns the current page program latency for a segment,
+// including wear-induced slowdown.
+func (a *Array) ProgramTime(seg int) sim.Duration {
+	return sim.Duration(float64(a.timing.Program) * a.wearFactor(seg))
+}
+
+// EraseTime returns the current segment erase latency, including
+// wear-induced slowdown.
+func (a *Array) EraseTime(seg int) sim.Duration {
+	return sim.Duration(float64(a.timing.Erase) * a.wearFactor(seg))
+}
+
+func (a *Array) checkPPN(ppn uint32) (seg, page int) {
+	if int(ppn) >= a.geo.Pages() {
+		panic(fmt.Sprintf("flash: physical page %d out of range (array has %d pages)", ppn, a.geo.Pages()))
+	}
+	return a.geo.Split(ppn)
+}
+
+// State returns the lifecycle state of a physical page.
+func (a *Array) State(ppn uint32) PageState {
+	seg, page := a.checkPPN(ppn)
+	return a.segs[seg].state[page]
+}
+
+// Owner returns the logical page stored at a physical page, or NoPage.
+func (a *Array) Owner(ppn uint32) uint32 {
+	seg, page := a.checkPPN(ppn)
+	return a.segs[seg].owner[page]
+}
+
+// Page returns the stored payload of a Valid physical page. It returns
+// nil if the array is dataless. The returned slice aliases the array's
+// storage; callers must not modify it.
+func (a *Array) Page(ppn uint32) []byte {
+	seg, page := a.checkPPN(ppn)
+	s := &a.segs[seg]
+	if s.state[page] != Valid {
+		panic(fmt.Sprintf("flash: reading %s page %d", s.state[page], ppn))
+	}
+	if a.dataless || s.data == nil {
+		return nil
+	}
+	return s.data[page*a.geo.PageSize : (page+1)*a.geo.PageSize]
+}
+
+// Program writes a page: it marks the physical page Valid, records the
+// logical owner, and stores the payload (unless dataless). The page
+// must be Free — programming a non-erased page is a write-once
+// violation and panics, because it indicates a controller bug rather
+// than a runtime condition.
+func (a *Array) Program(ppn uint32, logical uint32, payload []byte) {
+	seg, page := a.checkPPN(ppn)
+	s := &a.segs[seg]
+	if s.state[page] != Free {
+		panic(fmt.Sprintf("flash: programming %s page %d (write-once violation)", s.state[page], ppn))
+	}
+	s.state[page] = Valid
+	s.owner[page] = logical
+	s.free--
+	s.live++
+	a.programs++
+	if !a.dataless {
+		if s.data == nil {
+			s.data = make([]byte, a.geo.PagesPerSegment*a.geo.PageSize)
+		}
+		dst := s.data[page*a.geo.PageSize : (page+1)*a.geo.PageSize]
+		n := copy(dst, payload)
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+	}
+}
+
+// Invalidate marks a Valid physical page Invalid (its logical page has
+// moved elsewhere). The space is reclaimed only by erasing the segment.
+func (a *Array) Invalidate(ppn uint32) {
+	seg, page := a.checkPPN(ppn)
+	s := &a.segs[seg]
+	if s.state[page] != Valid {
+		panic(fmt.Sprintf("flash: invalidating %s page %d", s.state[page], ppn))
+	}
+	s.state[page] = Invalid
+	s.owner[page] = NoPage
+	s.live--
+	s.invalid++
+}
+
+// Erase bulk-erases a segment, returning every page to Free and
+// charging one program/erase cycle. Erasing a segment that still holds
+// Valid pages destroys live data and panics: the cleaner must copy
+// live pages out first.
+func (a *Array) Erase(seg int) {
+	s := &a.segs[seg]
+	if s.live != 0 {
+		panic(fmt.Sprintf("flash: erasing segment %d with %d live pages", seg, s.live))
+	}
+	for i := range s.state {
+		s.state[i] = Free
+		s.owner[i] = NoPage
+	}
+	s.free = a.geo.PagesPerSegment
+	s.invalid = 0
+	s.erases++
+	// Payload memory is kept allocated; contents of erased Flash are
+	// all-ones on real chips, but nothing may read a Free page.
+}
+
+// SegmentCounts returns the free, live, and invalid page counts of a
+// segment.
+func (a *Array) SegmentCounts(seg int) (free, live, invalid int) {
+	s := &a.segs[seg]
+	return s.free, s.live, s.invalid
+}
+
+// Utilization returns the fraction of a segment's pages holding live
+// data, the quantity the cleaning cost formula (§4.1) depends on.
+func (a *Array) Utilization(seg int) float64 {
+	return float64(a.segs[seg].live) / float64(a.geo.PagesPerSegment)
+}
+
+// EraseCount returns the program/erase cycles a segment has consumed.
+func (a *Array) EraseCount(seg int) int64 { return a.segs[seg].erases }
+
+// Programs returns the total page program operations performed.
+func (a *Array) Programs() int64 { return a.programs }
+
+// LivePages iterates a segment's Valid pages in physical order,
+// calling fn with the page index within the segment and the logical
+// owner. Cleaning preserves this order (§4.3: "the order of the pages
+// is maintained"), which the locality-gathering policy exploits.
+func (a *Array) LivePages(seg int, fn func(page int, logical uint32)) {
+	s := &a.segs[seg]
+	for i, st := range s.state {
+		if st == Valid {
+			fn(i, s.owner[i])
+		}
+	}
+}
+
+// TotalErases returns the sum of erase cycles across all segments.
+func (a *Array) TotalErases() int64 {
+	var t int64
+	for i := range a.segs {
+		t += a.segs[i].erases
+	}
+	return t
+}
+
+// WearSpread returns the minimum and maximum per-segment erase counts,
+// whose difference the wear leveler keeps bounded (§4.3: swap when the
+// oldest segment is >100 cycles older than the youngest).
+func (a *Array) WearSpread() (min, max int64) {
+	min, max = a.segs[0].erases, a.segs[0].erases
+	for i := range a.segs {
+		e := a.segs[i].erases
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return min, max
+}

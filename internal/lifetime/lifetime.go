@@ -1,0 +1,78 @@
+// Package lifetime implements the §5.5 array-lifetime estimate.
+//
+// The lifetime of an eNVy array is its total write capacity — pages ×
+// guaranteed program/erase cycles — divided by the rate pages are
+// actually written, which is the flush rate inflated by the cleaning
+// cost (each flushed page drags cost extra cleaner programs behind
+// it). The paper's example: a 2 GB array of 1-million-cycle parts at
+// 10,000 TPS flushes 10,376 pages/s at cleaning cost 1.97 and lasts
+// 8.63 years.
+package lifetime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Estimate describes one lifetime calculation.
+type Estimate struct {
+	CapacityBytes int64   // Flash array size
+	PageBytes     int     // page size
+	SpecCycles    int64   // guaranteed program/erase cycles per page
+	FlushRate     float64 // pages flushed from the write buffer per second
+	CleaningCost  float64 // cleaner programs per flushed page (§4.1)
+}
+
+// WriteCapacity returns the total page programs the array can absorb.
+func (e Estimate) WriteCapacity() float64 {
+	pages := float64(e.CapacityBytes) / float64(e.PageBytes)
+	return pages * float64(e.SpecCycles)
+}
+
+// PageWriteRate returns programs per second including cleaning
+// overhead: FlushRate × (1 + CleaningCost).
+func (e Estimate) PageWriteRate() float64 {
+	return e.FlushRate * (1 + e.CleaningCost)
+}
+
+// Lifetime returns how long the array lasts at the given write rate.
+func (e Estimate) Lifetime() time.Duration {
+	rate := e.PageWriteRate()
+	if rate <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	seconds := e.WriteCapacity() / rate
+	if seconds > float64(1<<62)/float64(time.Second) {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Days returns the lifetime in days of continuous use, the unit the
+// paper reports (3,151 days in §5.5).
+func (e Estimate) Days() float64 {
+	return e.Lifetime().Hours() / 24
+}
+
+// Years returns the lifetime in years of continuous use (8.63 in §5.5).
+func (e Estimate) Years() float64 {
+	return e.Days() / 365
+}
+
+// String formats the estimate the way §5.5 presents it.
+func (e Estimate) String() string {
+	return fmt.Sprintf("lifetime: %.0f days (%.2f years) at %.0f flushed pages/s, cleaning cost %.2f",
+		e.Days(), e.Years(), e.FlushRate, e.CleaningCost)
+}
+
+// PaperExample returns the exact §5.5 calculation inputs: 2 GB array,
+// 256-byte pages, 1M-cycle parts, 10,376 pages/s at cost 1.97.
+func PaperExample() Estimate {
+	return Estimate{
+		CapacityBytes: 2048 << 20,
+		PageBytes:     256,
+		SpecCycles:    1_000_000,
+		FlushRate:     10376,
+		CleaningCost:  1.97,
+	}
+}

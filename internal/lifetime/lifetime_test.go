@@ -1,0 +1,57 @@
+package lifetime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperExample(t *testing.T) {
+	e := PaperExample()
+	// §5.5: 3,151 days of continuous use (8.63 years).
+	days := e.Days()
+	if days < 3120 || days < 0 || days > 3180 {
+		t.Errorf("days = %.0f, want ≈3151", days)
+	}
+	years := e.Years()
+	if years < 8.5 || years > 8.8 {
+		t.Errorf("years = %.2f, want ≈8.63", years)
+	}
+}
+
+func TestWriteCapacity(t *testing.T) {
+	e := Estimate{CapacityBytes: 1 << 20, PageBytes: 256, SpecCycles: 100}
+	if got := e.WriteCapacity(); got != 4096*100 {
+		t.Errorf("WriteCapacity = %v", got)
+	}
+}
+
+func TestPageWriteRate(t *testing.T) {
+	e := Estimate{FlushRate: 100, CleaningCost: 2}
+	if got := e.PageWriteRate(); got != 300 {
+		t.Errorf("PageWriteRate = %v, want 300", got)
+	}
+}
+
+func TestZeroRate(t *testing.T) {
+	e := Estimate{CapacityBytes: 1 << 20, PageBytes: 256, SpecCycles: 100}
+	if e.Lifetime() <= 0 {
+		t.Error("zero write rate should give a huge lifetime, not overflow")
+	}
+}
+
+func TestLifetimeHalvesWithArray(t *testing.T) {
+	full := PaperExample()
+	half := full
+	half.CapacityBytes /= 2
+	ratio := full.Days() / half.Days()
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("halving the array changed lifetime by %.2fx, want 2x (§5.5)", ratio)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := PaperExample().String()
+	if !strings.Contains(s, "years") || !strings.Contains(s, "cleaning cost") {
+		t.Errorf("String = %q", s)
+	}
+}

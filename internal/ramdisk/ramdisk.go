@@ -1,0 +1,330 @@
+// Package ramdisk provides the backwards-compatibility path sketched
+// in the paper's introduction: "a simple RAM disk program can make a
+// memory array usable by a standard file system."
+//
+// Disk exposes a sector-addressed block device on top of the linear
+// eNVy address space; FS is a deliberately small flat file store on
+// top of Disk, enough to demonstrate a disk-style consumer (format,
+// create, read, list, delete, survive power cycles).
+package ramdisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"envy/internal/sim"
+)
+
+// SectorBytes is the block size of the emulated disk.
+const SectorBytes = 512
+
+// Memory is the linear storage under the disk — an eNVy device.
+type Memory interface {
+	Read(p []byte, addr uint64) sim.Duration
+	Write(p []byte, addr uint64) sim.Duration
+}
+
+// Disk is a sector-addressed view of [base, base+Sectors()*SectorBytes).
+type Disk struct {
+	mem     Memory
+	base    uint64
+	sectors int
+}
+
+// NewDisk returns a disk of the given number of sectors at base.
+func NewDisk(mem Memory, base uint64, sectors int) (*Disk, error) {
+	if sectors <= 0 {
+		return nil, fmt.Errorf("ramdisk: need at least one sector")
+	}
+	return &Disk{mem: mem, base: base, sectors: sectors}, nil
+}
+
+// Sectors returns the disk size in sectors.
+func (d *Disk) Sectors() int { return d.sectors }
+
+func (d *Disk) checkRange(sector, n int) error {
+	if sector < 0 || sector+n > d.sectors {
+		return fmt.Errorf("ramdisk: sectors [%d,%d) out of range [0,%d)", sector, sector+n, d.sectors)
+	}
+	return nil
+}
+
+// ReadSectors fills p (a multiple of SectorBytes) from the given
+// sector and returns the access latency.
+func (d *Disk) ReadSectors(p []byte, sector int) (sim.Duration, error) {
+	if len(p)%SectorBytes != 0 {
+		return 0, fmt.Errorf("ramdisk: read of %d bytes is not sector-aligned", len(p))
+	}
+	if err := d.checkRange(sector, len(p)/SectorBytes); err != nil {
+		return 0, err
+	}
+	return d.mem.Read(p, d.base+uint64(sector)*SectorBytes), nil
+}
+
+// WriteSectors stores p (a multiple of SectorBytes) at the given
+// sector and returns the access latency.
+func (d *Disk) WriteSectors(p []byte, sector int) (sim.Duration, error) {
+	if len(p)%SectorBytes != 0 {
+		return 0, fmt.Errorf("ramdisk: write of %d bytes is not sector-aligned", len(p))
+	}
+	if err := d.checkRange(sector, len(p)/SectorBytes); err != nil {
+		return 0, err
+	}
+	return d.mem.Write(p, d.base+uint64(sector)*SectorBytes), nil
+}
+
+// File-store layout:
+//
+//	sector 0:      superblock {magic, entries, nextFree}
+//	sectors 1..N:  directory, 64-byte entries
+//	remainder:     file extents, bump-allocated
+const (
+	fsMagic    = 0x656e5646 // "eNVF"
+	entryBytes = 64
+	nameBytes  = 40 // name field region, [2:40) of the entry
+	dirSectors = 8
+	maxFiles   = dirSectors * SectorBytes / entryBytes
+)
+
+// FS is a minimal flat file store. Files are created whole; rewriting
+// a file reuses its extent when the new contents fit, otherwise a new
+// extent is allocated (the old space is not reclaimed — this is a
+// demonstration consumer, not a production file system).
+type FS struct {
+	disk *Disk
+}
+
+// Format initializes an empty file store on disk.
+func Format(disk *Disk) (*FS, error) {
+	if disk.Sectors() < 1+dirSectors+1 {
+		return nil, fmt.Errorf("ramdisk: disk too small for a file store")
+	}
+	var sb [SectorBytes]byte
+	binary.LittleEndian.PutUint32(sb[0:], fsMagic)
+	binary.LittleEndian.PutUint32(sb[4:], 0)
+	binary.LittleEndian.PutUint64(sb[8:], 1+dirSectors)
+	if _, err := disk.WriteSectors(sb[:], 0); err != nil {
+		return nil, err
+	}
+	zero := make([]byte, dirSectors*SectorBytes)
+	if _, err := disk.WriteSectors(zero, 1); err != nil {
+		return nil, err
+	}
+	return &FS{disk: disk}, nil
+}
+
+// Mount attaches to a previously formatted file store.
+func Mount(disk *Disk) (*FS, error) {
+	var sb [SectorBytes]byte
+	if _, err := disk.ReadSectors(sb[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != fsMagic {
+		return nil, fmt.Errorf("ramdisk: no file store on this disk")
+	}
+	return &FS{disk: disk}, nil
+}
+
+type superblock struct {
+	entries  uint32
+	nextFree uint64
+}
+
+func (fs *FS) readSuper() (superblock, error) {
+	var sb [SectorBytes]byte
+	if _, err := fs.disk.ReadSectors(sb[:], 0); err != nil {
+		return superblock{}, err
+	}
+	return superblock{
+		entries:  binary.LittleEndian.Uint32(sb[4:]),
+		nextFree: binary.LittleEndian.Uint64(sb[8:]),
+	}, nil
+}
+
+func (fs *FS) writeSuper(s superblock) error {
+	var sb [SectorBytes]byte
+	binary.LittleEndian.PutUint32(sb[0:], fsMagic)
+	binary.LittleEndian.PutUint32(sb[4:], s.entries)
+	binary.LittleEndian.PutUint64(sb[8:], s.nextFree)
+	_, err := fs.disk.WriteSectors(sb[:], 0)
+	return err
+}
+
+// entry is one directory slot.
+type entry struct {
+	name   string
+	size   uint64
+	start  uint64 // first sector of the extent
+	extent uint64 // sectors allocated
+	inUse  bool
+	slot   int
+}
+
+func (fs *FS) readEntry(slot int) (entry, error) {
+	sector := 1 + slot*entryBytes/SectorBytes
+	off := slot * entryBytes % SectorBytes
+	var buf [SectorBytes]byte
+	if _, err := fs.disk.ReadSectors(buf[:], sector); err != nil {
+		return entry{}, err
+	}
+	// Layout: [0] in-use flag, [1] name length, [2:40) name,
+	// [40:48) size, [48:56) start sector, [56:64) extent sectors.
+	raw := buf[off : off+entryBytes]
+	e := entry{slot: slot}
+	e.inUse = raw[0] == 1
+	n := int(raw[1])
+	if n > nameBytes-2 {
+		n = nameBytes - 2
+	}
+	e.name = string(raw[2 : 2+n])
+	e.size = binary.LittleEndian.Uint64(raw[40:])
+	e.start = binary.LittleEndian.Uint64(raw[48:])
+	e.extent = binary.LittleEndian.Uint64(raw[56:])
+	return e, nil
+}
+
+func (fs *FS) writeEntry(e entry) error {
+	sector := 1 + e.slot*entryBytes/SectorBytes
+	off := e.slot * entryBytes % SectorBytes
+	var buf [SectorBytes]byte
+	if _, err := fs.disk.ReadSectors(buf[:], sector); err != nil {
+		return err
+	}
+	raw := buf[off : off+entryBytes]
+	for i := range raw {
+		raw[i] = 0
+	}
+	if e.inUse {
+		raw[0] = 1
+	}
+	raw[1] = byte(len(e.name))
+	copy(raw[2:nameBytes], e.name)
+	binary.LittleEndian.PutUint64(raw[40:], e.size)
+	binary.LittleEndian.PutUint64(raw[48:], e.start)
+	binary.LittleEndian.PutUint64(raw[56:], e.extent)
+	_, err := fs.disk.WriteSectors(buf[:], sector)
+	return err
+}
+
+// lookup finds a file's directory entry, or a free slot (-1 if none).
+func (fs *FS) lookup(name string) (found entry, free int, err error) {
+	free = -1
+	for slot := 0; slot < maxFiles; slot++ {
+		e, err := fs.readEntry(slot)
+		if err != nil {
+			return entry{}, -1, err
+		}
+		if e.inUse && e.name == name {
+			return e, free, nil
+		}
+		if !e.inUse && free == -1 {
+			free = slot
+		}
+	}
+	return entry{}, free, nil
+}
+
+func sectorsFor(n uint64) uint64 { return (n + SectorBytes - 1) / SectorBytes }
+
+// WriteFile creates or replaces a file.
+func (fs *FS) WriteFile(name string, data []byte) error {
+	if name == "" || len(name) > nameBytes-2 {
+		return fmt.Errorf("ramdisk: bad file name %q", name)
+	}
+	e, free, err := fs.lookup(name)
+	if err != nil {
+		return err
+	}
+	need := sectorsFor(uint64(len(data)))
+	sup, err := fs.readSuper()
+	if err != nil {
+		return err
+	}
+	switch {
+	case e.inUse && need <= e.extent:
+		// Rewrite in place.
+	case e.inUse:
+		e.start = sup.nextFree
+		e.extent = need
+		sup.nextFree += need
+	default:
+		if free == -1 {
+			return fmt.Errorf("ramdisk: directory full (%d files)", maxFiles)
+		}
+		e = entry{slot: free, name: name, inUse: true, start: sup.nextFree, extent: need}
+		sup.nextFree += need
+		sup.entries++
+	}
+	if sup.nextFree > uint64(fs.disk.Sectors()) {
+		return fmt.Errorf("ramdisk: disk full")
+	}
+	e.size = uint64(len(data))
+	padded := make([]byte, need*SectorBytes)
+	copy(padded, data)
+	if need > 0 {
+		if _, err := fs.disk.WriteSectors(padded, int(e.start)); err != nil {
+			return err
+		}
+	}
+	if err := fs.writeEntry(e); err != nil {
+		return err
+	}
+	return fs.writeSuper(sup)
+}
+
+// ReadFile returns a file's contents.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	e, _, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if !e.inUse {
+		return nil, fmt.Errorf("ramdisk: file %q not found", name)
+	}
+	if e.size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, sectorsFor(e.size)*SectorBytes)
+	if _, err := fs.disk.ReadSectors(buf, int(e.start)); err != nil {
+		return nil, err
+	}
+	return buf[:e.size], nil
+}
+
+// Delete removes a file (its extent is not reclaimed).
+func (fs *FS) Delete(name string) error {
+	e, _, err := fs.lookup(name)
+	if err != nil {
+		return err
+	}
+	if !e.inUse {
+		return fmt.Errorf("ramdisk: file %q not found", name)
+	}
+	e.inUse = false
+	if err := fs.writeEntry(e); err != nil {
+		return err
+	}
+	sup, err := fs.readSuper()
+	if err != nil {
+		return err
+	}
+	sup.entries--
+	return fs.writeSuper(sup)
+}
+
+// List returns the names of all files, sorted.
+func (fs *FS) List() ([]string, error) {
+	var names []string
+	for slot := 0; slot < maxFiles; slot++ {
+		e, err := fs.readEntry(slot)
+		if err != nil {
+			return nil, err
+		}
+		if e.inUse {
+			names = append(names, e.name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,211 @@
+package ramdisk
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+)
+
+func testDevice(t *testing.T) *core.Device {
+	t.Helper()
+	d, err := core.New(core.Config{
+		Geometry:    flash.Geometry{PageSize: 256, PagesPerSegment: 64, Segments: 64, Banks: 8},
+		Cleaning:    cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 8},
+		BufferPages: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testDisk(t *testing.T) *Disk {
+	t.Helper()
+	dev := testDevice(t)
+	disk, err := NewDisk(dev, 0, int(dev.Size()/SectorBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk
+}
+
+func TestDiskSectorIO(t *testing.T) {
+	disk := testDisk(t)
+	out := make([]byte, 2*SectorBytes)
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	if _, err := disk.WriteSectors(out, 3); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 2*SectorBytes)
+	if _, err := disk.ReadSectors(in, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("sector round trip mismatch")
+	}
+}
+
+func TestDiskBounds(t *testing.T) {
+	disk := testDisk(t)
+	buf := make([]byte, SectorBytes)
+	if _, err := disk.ReadSectors(buf, disk.Sectors()); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := disk.WriteSectors(buf, -1); err == nil {
+		t.Error("negative sector accepted")
+	}
+	if _, err := disk.ReadSectors(make([]byte, 100), 0); err == nil {
+		t.Error("unaligned read accepted")
+	}
+}
+
+func TestFSBasics(t *testing.T) {
+	fs, err := Format(testDisk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("hello.txt", []byte("hello eNVy")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello eNVy" {
+		t.Errorf("read back %q", got)
+	}
+	if _, err := fs.ReadFile("missing"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "hello.txt" {
+		t.Errorf("List = %v", names)
+	}
+}
+
+func TestFSRewriteAndGrow(t *testing.T) {
+	fs, err := Format(testDisk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("f", bytes.Repeat([]byte{1}, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink in place.
+	if err := fs.WriteFile("f", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("f")
+	if string(got) != "tiny" {
+		t.Errorf("after shrink: %q", got)
+	}
+	// Grow beyond the original extent.
+	big := bytes.Repeat([]byte{9}, 5000)
+	if err := fs.WriteFile("f", big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("f")
+	if !bytes.Equal(got, big) {
+		t.Error("after grow: contents mismatch")
+	}
+}
+
+func TestFSDelete(t *testing.T) {
+	fs, err := Format(testDisk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile("a", []byte("1"))
+	fs.WriteFile("b", []byte("2"))
+	if err := fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("a"); err == nil {
+		t.Error("deleted file still readable")
+	}
+	if err := fs.Delete("a"); err == nil {
+		t.Error("double delete succeeded")
+	}
+	names, _ := fs.List()
+	if len(names) != 1 || names[0] != "b" {
+		t.Errorf("List = %v", names)
+	}
+	// The slot is reusable.
+	if err := fs.WriteFile("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSManyFiles(t *testing.T) {
+	fs, err := Format(testDisk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("file-%02d", i)
+		if err := fs.WriteFile(name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("file-%02d", i)
+		got, err := fs.ReadFile(name)
+		if err != nil || string(got) != name {
+			t.Fatalf("ReadFile(%s) = %q, %v", name, got, err)
+		}
+	}
+	names, _ := fs.List()
+	if len(names) != 40 {
+		t.Errorf("List has %d names", len(names))
+	}
+}
+
+func TestFSPersistsAcrossMountAndPowerCycle(t *testing.T) {
+	dev := testDevice(t)
+	disk, err := NewDisk(dev, 0, int(dev.Size()/SectorBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("persist", []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	dev.PowerCycle()
+	fs2, err := Mount(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("persist")
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("after power cycle: %q, %v", got, err)
+	}
+}
+
+func TestMountRejectsUnformatted(t *testing.T) {
+	if _, err := Mount(testDisk(t)); err == nil {
+		t.Error("Mount of unformatted disk succeeded")
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	fs, _ := Format(testDisk(t))
+	if err := fs.WriteFile("", []byte("x")); err == nil {
+		t.Error("empty name accepted")
+	}
+	long := bytes.Repeat([]byte{'a'}, 100)
+	if err := fs.WriteFile(string(long), []byte("x")); err == nil {
+		t.Error("over-long name accepted")
+	}
+}

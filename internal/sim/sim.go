@@ -1,0 +1,179 @@
+// Package sim provides the deterministic simulation primitives shared by
+// the eNVy models: a nanosecond clock type, a seedable pseudo-random
+// number generator, and the probability distributions used by the
+// paper's workloads (uniform, exponential inter-arrival, and the
+// bimodal "x/y" locality-of-reference distribution from Section 4).
+//
+// Everything in this package is deterministic: two runs constructed
+// with the same seed produce identical streams. The simulator and the
+// test suite both depend on that property.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulated timeline, in nanoseconds.
+// The zero Time is the start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Nanosecond and friends but for the
+// simulated clock.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a floating-point number of seconds since
+// the simulation start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", t.Seconds()) }
+func (d Duration) String() string { return fmt.Sprintf("%dns", int64(d)) }
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64). It is not safe for concurrent use; give each simulated
+// component its own stream via Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; the same seed gives the same stream.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Split derives a new, independent generator from r, advancing r once.
+// Use it to hand private streams to sub-components so that adding a
+// consumer in one place does not perturb every other stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed integer in [0, n).
+// It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n).
+// It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n called with n == 0")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given
+// mean. It is used for TPC-A transaction inter-arrival times (§5.2).
+func (r *RNG) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := -math.Log(u) * float64(mean)
+	if d >= math.MaxInt64 {
+		return Duration(math.MaxInt64)
+	}
+	return Duration(d)
+}
+
+// Bimodal draws indices from the paper's "hot/cold" locality
+// distribution: a fraction HotAccess of draws land uniformly inside the
+// first HotData fraction of [0, n), the remainder land uniformly in the
+// cold region. The paper writes this as "10/90": 90% of accesses go to
+// 10% of the data (HotData=0.10, HotAccess=0.90).
+type Bimodal struct {
+	HotData   float64 // fraction of the index space that is hot, in (0, 1]
+	HotAccess float64 // fraction of accesses that target the hot region, in [0, 1]
+}
+
+// ParseLocality converts a paper-style locality label such as "10/90"
+// into a Bimodal where 90% of accesses hit 10% of the data.
+func ParseLocality(label string) (Bimodal, error) {
+	var hot, acc float64
+	if _, err := fmt.Sscanf(label, "%f/%f", &hot, &acc); err != nil {
+		return Bimodal{}, fmt.Errorf("sim: bad locality label %q: %w", label, err)
+	}
+	if hot <= 0 || acc < 0 || hot+acc != 100 {
+		return Bimodal{}, fmt.Errorf("sim: locality label %q must be of the form x/y with x+y=100", label)
+	}
+	return Bimodal{HotData: hot / 100, HotAccess: acc / 100}, nil
+}
+
+// Uniform is the 50/50 distribution: every index equally likely.
+var Uniform = Bimodal{HotData: 0.5, HotAccess: 0.5}
+
+// Draw returns an index in [0, n) distributed according to b.
+// It panics if n <= 0.
+func (b Bimodal) Draw(r *RNG, n int) int {
+	if n <= 0 {
+		panic("sim: Bimodal.Draw called with n <= 0")
+	}
+	hotN := int(b.HotData * float64(n))
+	if hotN < 1 {
+		hotN = 1
+	}
+	if hotN > n {
+		hotN = n
+	}
+	if r.Float64() < b.HotAccess {
+		return r.Intn(hotN)
+	}
+	if hotN == n {
+		return r.Intn(n)
+	}
+	return hotN + r.Intn(n-hotN)
+}
+
+// String formats the distribution using the paper's "x/y" convention.
+func (b Bimodal) String() string {
+	return fmt.Sprintf("%.0f/%.0f", b.HotData*100, b.HotAccess*100)
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var start Time
+	end := start.Add(2 * Second).Add(500 * Millisecond)
+	if got := end.Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := end.Sub(start); got != 2500*Millisecond {
+		t.Errorf("Sub = %v, want 2.5s", got)
+	}
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Errorf("Micros = %v, want 1.5", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	for i := 0; i < 10; i++ {
+		if parent.Uint64() == child.Uint64() {
+			t.Fatal("split stream tracks parent stream")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := NewRNG(9)
+	const buckets, draws = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(5)
+	mean := 100 * Microsecond
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.02*float64(mean) {
+		t.Errorf("Exp mean = %.0fns, want ~%dns", got, int64(mean))
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	if d := NewRNG(1).Exp(0); d != 0 {
+		t.Errorf("Exp(0) = %v, want 0", d)
+	}
+}
+
+func TestParseLocality(t *testing.T) {
+	for _, tc := range []struct {
+		in        string
+		hot, acc  float64
+		wantError bool
+	}{
+		{"10/90", 0.10, 0.90, false},
+		{"50/50", 0.50, 0.50, false},
+		{"5/95", 0.05, 0.95, false},
+		{"10/80", 0, 0, true}, // does not sum to 100
+		{"garbage", 0, 0, true},
+		{"0/100", 0, 0, true},
+	} {
+		b, err := ParseLocality(tc.in)
+		if tc.wantError {
+			if err == nil {
+				t.Errorf("ParseLocality(%q): want error, got %v", tc.in, b)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLocality(%q): %v", tc.in, err)
+			continue
+		}
+		if b.HotData != tc.hot || b.HotAccess != tc.acc {
+			t.Errorf("ParseLocality(%q) = %+v, want hot=%v acc=%v", tc.in, b, tc.hot, tc.acc)
+		}
+	}
+}
+
+func TestBimodalSkew(t *testing.T) {
+	r := NewRNG(11)
+	b := Bimodal{HotData: 0.10, HotAccess: 0.90}
+	const n, draws = 1000, 100000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		if b.Draw(r, n) < n/10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if math.Abs(frac-0.90) > 0.01 {
+		t.Errorf("hot fraction = %.3f, want ~0.90", frac)
+	}
+}
+
+func TestBimodalUniform(t *testing.T) {
+	r := NewRNG(13)
+	const n, draws = 100, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[Uniform.Draw(r, n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("index %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestBimodalCoversWholeRange(t *testing.T) {
+	r := NewRNG(17)
+	b := Bimodal{HotData: 0.05, HotAccess: 0.95}
+	const n = 50
+	seen := make(map[int]bool)
+	for i := 0; i < 100000; i++ {
+		seen[b.Draw(r, n)] = true
+	}
+	if len(seen) != n {
+		t.Errorf("drew %d distinct values of %d", len(seen), n)
+	}
+}
+
+func TestBimodalSmallN(t *testing.T) {
+	r := NewRNG(19)
+	b := Bimodal{HotData: 0.10, HotAccess: 0.90}
+	for i := 0; i < 1000; i++ {
+		if v := b.Draw(r, 1); v != 0 {
+			t.Fatalf("Draw(n=1) = %d", v)
+		}
+	}
+}
+
+func TestBimodalString(t *testing.T) {
+	b := Bimodal{HotData: 0.10, HotAccess: 0.90}
+	if got := b.String(); got != "10/90" {
+		t.Errorf("String() = %q, want 10/90", got)
+	}
+}

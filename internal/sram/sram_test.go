@@ -1,0 +1,205 @@
+package sram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupRemove(t *testing.T) {
+	b := NewBuffer(4, 8, false)
+	if b.Cap() != 4 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh buffer: cap=%d len=%d full=%v", b.Cap(), b.Len(), b.Full())
+	}
+	f := b.Insert(10, 2, []byte{1, 2, 3})
+	if f.Logical != 10 || f.Home != 2 {
+		t.Errorf("frame = %+v", f)
+	}
+	if !bytes.Equal(f.Data, []byte{1, 2, 3, 0, 0, 0, 0, 0}) {
+		t.Errorf("payload = %v", f.Data)
+	}
+	if got := b.Lookup(10); got != f {
+		t.Error("Lookup returned different frame")
+	}
+	if b.Lookup(11) != nil {
+		t.Error("Lookup of absent page returned a frame")
+	}
+	b.Remove(f)
+	if b.Len() != 0 || b.Lookup(10) != nil {
+		t.Error("Remove did not clear the frame")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := NewBuffer(4, 4, true)
+	b.Insert(1, 0, nil)
+	b.Insert(2, 0, nil)
+	b.Insert(3, 0, nil)
+	if got := b.Oldest(); got.Logical != 1 {
+		t.Errorf("Oldest = %d, want 1", got.Logical)
+	}
+	b.Remove(b.Lookup(1))
+	if got := b.Oldest(); got.Logical != 2 {
+		t.Errorf("Oldest after removal = %d, want 2", got.Logical)
+	}
+}
+
+func TestOldestSkipsFlushing(t *testing.T) {
+	b := NewBuffer(4, 4, true)
+	b.Insert(1, 0, nil)
+	b.Insert(2, 0, nil)
+	b.Lookup(1).Flushing = true
+	if got := b.Oldest(); got.Logical != 2 {
+		t.Errorf("Oldest = %d, want 2 (1 is flushing)", got.Logical)
+	}
+	b.Lookup(2).Flushing = true
+	if got := b.Oldest(); got != nil {
+		t.Errorf("Oldest = %v, want nil when all frames flushing", got)
+	}
+}
+
+func TestOldestEmpty(t *testing.T) {
+	b := NewBuffer(2, 4, true)
+	if b.Oldest() != nil {
+		t.Error("Oldest on empty buffer should be nil")
+	}
+}
+
+func TestRequeue(t *testing.T) {
+	b := NewBuffer(4, 4, true)
+	b.Insert(1, 0, nil)
+	b.Insert(2, 0, nil)
+	f := b.Lookup(1)
+	f.Flushing = true
+	f.Dirtied = true
+	b.Requeue(f)
+	if f.Flushing || f.Dirtied {
+		t.Error("Requeue did not clear flush flags")
+	}
+	// 1 moved to the head, so 2 is now oldest.
+	if got := b.Oldest(); got.Logical != 2 {
+		t.Errorf("Oldest after requeue = %d, want 2", got.Logical)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	b := NewBuffer(4, 4, true)
+	b.Insert(1, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	b.Insert(1, 0, nil)
+}
+
+func TestFullInsertPanics(t *testing.T) {
+	b := NewBuffer(2, 4, true)
+	b.Insert(1, 0, nil)
+	b.Insert(2, 0, nil)
+	if !b.Full() {
+		t.Fatal("buffer should be full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("insert into full buffer did not panic")
+		}
+	}()
+	b.Insert(3, 0, nil)
+}
+
+func TestFramesIterationOrder(t *testing.T) {
+	b := NewBuffer(8, 4, true)
+	for i := uint32(1); i <= 5; i++ {
+		b.Insert(i, 0, nil)
+	}
+	var order []uint32
+	b.Frames(func(f *Frame) { order = append(order, f.Logical) })
+	for i, want := range []uint32{1, 2, 3, 4, 5} {
+		if order[i] != want {
+			t.Fatalf("Frames order = %v", order)
+		}
+	}
+}
+
+func TestFrameReuseClearsState(t *testing.T) {
+	b := NewBuffer(1, 4, false)
+	f := b.Insert(1, 3, []byte{9, 9, 9, 9})
+	f.Flushing = true
+	f.Dirtied = true
+	b.Remove(f)
+	g := b.Insert(2, 0, []byte{1})
+	if g.Flushing || g.Dirtied {
+		t.Error("reused frame kept flush flags")
+	}
+	if !bytes.Equal(g.Data, []byte{1, 0, 0, 0}) {
+		t.Errorf("reused frame payload = %v", g.Data)
+	}
+}
+
+func TestDatalessFrames(t *testing.T) {
+	b := NewBuffer(2, 4, true)
+	f := b.Insert(1, 0, []byte{1, 2, 3})
+	if f.Data != nil {
+		t.Error("dataless frame allocated payload")
+	}
+}
+
+// TestChurnProperty exercises a random insert/remove/requeue sequence
+// and checks that the map, the FIFO links, and the free list agree.
+func TestChurnProperty(t *testing.T) {
+	const frames = 16
+	b := NewBuffer(frames, 4, true)
+	present := make(map[uint32]bool)
+	check := func(step uint32) bool {
+		if b.Len() != len(present) {
+			t.Fatalf("step %d: Len=%d, want %d", step, b.Len(), len(present))
+		}
+		n := 0
+		b.Frames(func(f *Frame) {
+			if !present[f.Logical] {
+				t.Fatalf("step %d: frame %d in FIFO but not in model", step, f.Logical)
+			}
+			n++
+		})
+		if n != len(present) {
+			t.Fatalf("step %d: FIFO has %d frames, model %d", step, n, len(present))
+		}
+		return true
+	}
+	if err := quick.Check(func(ops []uint16) bool {
+		for i, op := range ops {
+			page := uint32(op % 32)
+			switch {
+			case present[page]:
+				if op%3 == 0 {
+					b.Remove(b.Lookup(page))
+					delete(present, page)
+				} else {
+					b.Requeue(b.Lookup(page))
+				}
+			case len(present) < frames:
+				b.Insert(page, int(op%8), nil)
+				present[page] = true
+			default:
+				oldest := b.Oldest()
+				b.Remove(oldest)
+				delete(present, oldest.Logical)
+			}
+			check(uint32(i))
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, tc := range []struct{ frames, pageSize int }{{0, 4}, {-1, 4}, {4, 0}} {
+		func() {
+			defer func() { recover() }()
+			NewBuffer(tc.frames, tc.pageSize, true)
+			t.Errorf("NewBuffer(%d, %d) did not panic", tc.frames, tc.pageSize)
+		}()
+	}
+}

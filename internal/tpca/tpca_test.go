@@ -1,0 +1,204 @@
+package tpca
+
+import (
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/sim"
+)
+
+// testDevice is ~4 MB of Flash: enough for a 2-branch scaled database.
+func testDevice(t *testing.T) *core.Device {
+	t.Helper()
+	d, err := core.New(core.Config{
+		Geometry: flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 128, Banks: 8},
+		Cleaning: cleaner.Config{Kind: cleaner.Hybrid, PartitionSegments: 16},
+		// The paper sizes the buffer to absorb a 50 ms erase stall
+		// (16 MB at full scale); scale it with the workload here.
+		BufferPages: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testBank(t *testing.T) *Bank {
+	t.Helper()
+	b, err := Setup(testDevice(t), Config{
+		Branches:          2,
+		AccountsPerTeller: 500,
+		Seed:              1,
+		InitialBalance:    1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, err := Setup(testDevice(t), Config{}); err == nil {
+		t.Error("zero branches accepted")
+	}
+	// Paper-ratio database cannot fit in a 4 MB device.
+	if _, err := Setup(testDevice(t), Config{Branches: 2}); err == nil {
+		t.Error("oversized database accepted")
+	}
+}
+
+func TestSetupShape(t *testing.T) {
+	b := testBank(t)
+	if b.Accounts() != 2*10*500 {
+		t.Errorf("accounts = %d", b.Accounts())
+	}
+	br, te, ac := b.TreeHeights()
+	if br != 1 || te != 1 || ac < 3 {
+		t.Errorf("tree heights = %d/%d/%d", br, te, ac)
+	}
+}
+
+func TestTransactionMovesMoney(t *testing.T) {
+	b := testBank(t)
+	aAddr, tAddr, brAddr := b.RecordAddrs(42)
+	if err := b.Transaction(42, 250); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Balance(aAddr); got != 1250 {
+		t.Errorf("account balance = %d", got)
+	}
+	if got := b.Balance(tAddr); got != 1250 {
+		t.Errorf("teller balance = %d", got)
+	}
+	if got := b.Balance(brAddr); got != 1250 {
+		t.Errorf("branch balance = %d", got)
+	}
+	if err := b.Transaction(42, -50); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Balance(aAddr); got != 1200 {
+		t.Errorf("account balance after withdrawal = %d", got)
+	}
+}
+
+func TestTransactionRejectsUnknownAccount(t *testing.T) {
+	b := testBank(t)
+	if err := b.Transaction(b.Accounts()+100, 1); err == nil {
+		t.Error("unknown account accepted")
+	}
+}
+
+// TestConservation runs many transactions and checks the TPC-A
+// consistency condition: for every branch, the branch balance equals
+// the sum of its tellers' balances equals the sum of its accounts'.
+func TestConservation(t *testing.T) {
+	b := testBank(t)
+	r := sim.NewRNG(7)
+	for i := 0; i < 3000; i++ {
+		account := r.Intn(b.Accounts()) + 1
+		delta := int64(r.Intn(2001)) - 1000
+		if err := b.Transaction(account, delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Device().AdvanceTo(b.Device().Now().Add(sim.Second))
+	for branch := 0; branch < b.cfg.Branches; branch++ {
+		branchBal := b.Balance(b.branchBase + uint64(branch)*RecordBytes)
+		var tellerSum, accountSum int64
+		for tl := 0; tl < TellersPerBranch; tl++ {
+			idx := branch*TellersPerBranch + tl
+			tellerSum += b.Balance(b.tellerBase + uint64(idx)*RecordBytes)
+			for ac := 0; ac < b.cfg.AccountsPerTeller; ac++ {
+				aidx := idx*b.cfg.AccountsPerTeller + ac
+				accountSum += b.Balance(b.accountBase + uint64(aidx)*RecordBytes)
+			}
+		}
+		base := int64(b.cfg.InitialBalance)
+		if tellerSum-base*int64(TellersPerBranch) != branchBal-base {
+			t.Errorf("branch %d: teller sum delta %d != branch delta %d",
+				branch, tellerSum-base*10, branchBal-base)
+		}
+		if accountSum-base*int64(TellersPerBranch*b.cfg.AccountsPerTeller) != branchBal-base {
+			t.Errorf("branch %d: account sum delta mismatch", branch)
+		}
+	}
+	if err := b.Device().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverThroughputTracksOfferedRate(t *testing.T) {
+	b := testBank(t)
+	dr := NewDriver(b)
+	// Well under capacity: completed ≈ offered.
+	res, err := dr.Run(2000, 500*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPS < 1700 || res.TPS > 2300 {
+		t.Errorf("TPS = %.0f at offered 2000", res.TPS)
+	}
+	if res.ReadMean < 160 || res.ReadMean > 400 {
+		t.Errorf("read mean = %v, want near 180ns", res.ReadMean)
+	}
+	if res.WriteMean < 160 || res.WriteMean > 600 {
+		t.Errorf("write mean = %v, want near 200ns", res.WriteMean)
+	}
+}
+
+func TestDriverSaturates(t *testing.T) {
+	b := testBank(t)
+	dr := NewDriver(b)
+	if _, err := dr.Run(3000, 200*sim.Millisecond); err != nil { // warm
+		t.Fatal(err)
+	}
+	low, err := dr.Run(4000, 300*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := dr.Run(1e6, 300*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.TPS < low.TPS {
+		t.Errorf("saturated TPS %.0f below low-rate TPS %.0f", sat.TPS, low.TPS)
+	}
+	// At a million offered TPS the device must be the bottleneck.
+	if sat.TPS > 0.9e6 {
+		t.Errorf("saturated TPS %.0f looks unbounded", sat.TPS)
+	}
+	// Saturation shows up as elevated write latency (Figure 15).
+	if sat.WriteMean <= low.WriteMean {
+		t.Errorf("saturated write mean %v not above low-rate %v", sat.WriteMean, low.WriteMean)
+	}
+	if err := b.Device().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsAccounting(t *testing.T) {
+	b := testBank(t)
+	dr := NewDriver(b)
+	res, err := dr.Run(1000, 200*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.TxnLatency.Count() != res.Completed {
+		t.Errorf("completed=%d latency samples=%d", res.Completed, res.TxnLatency.Count())
+	}
+	if res.Counters.HostReads == 0 || res.Counters.HostWrites == 0 {
+		t.Error("no host accesses counted")
+	}
+	// Each transaction reads three trees and three records: tens of
+	// reads, single-digit writes.
+	readsPerTxn := float64(res.Counters.HostReads) / float64(res.Completed)
+	writesPerTxn := float64(res.Counters.HostWrites) / float64(res.Completed)
+	if readsPerTxn < 10 || readsPerTxn > 120 {
+		t.Errorf("reads per txn = %.1f", readsPerTxn)
+	}
+	if writesPerTxn < 3 || writesPerTxn > 12 {
+		t.Errorf("writes per txn = %.1f", writesPerTxn)
+	}
+}
