@@ -16,6 +16,7 @@ import (
 
 	"envy/internal/cleaner"
 	"envy/internal/flash"
+	"envy/internal/invariant"
 	"envy/internal/sim"
 	"envy/internal/workload"
 )
@@ -35,6 +36,7 @@ func main() {
 		measure   = flag.Int("measure", 20, "measured writes, in multiples of the logical page count")
 		wear      = flag.Int64("wear", 0, "wear-leveling threshold (0 = off)")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		check     = flag.Bool("check", false, "run the harness invariant checker after warm-up and after the measured run")
 	)
 	flag.Parse()
 
@@ -76,7 +78,21 @@ func main() {
 		log.Printf("unknown workload %q", *kind)
 		os.Exit(2)
 	}
-	cost := h.RunGenerator(gen, *warm*n, *measure*n)
+	var cost float64
+	if *check {
+		// Split the run so the checker also sees the warmed state, not
+		// just the final one.
+		h.RunGenerator(gen, *warm*n, 0)
+		if err := invariant.CheckHarness(h); err != nil {
+			log.Fatalf("invariant violation after warm-up: %v", err)
+		}
+		cost = h.RunGenerator(gen, 0, *measure*n)
+		if err := invariant.CheckHarness(h); err != nil {
+			log.Fatalf("invariant violation after measured run: %v", err)
+		}
+	} else {
+		cost = h.RunGenerator(gen, *warm*n, *measure*n)
+	}
 	c := h.Counters()
 
 	fmt.Printf("array: %d segments x %d pages (%d KB), %d logical pages (80%% utilization)\n",

@@ -17,6 +17,7 @@ import (
 	"envy/internal/cleaner"
 	"envy/internal/core"
 	"envy/internal/flash"
+	"envy/internal/invariant"
 	"envy/internal/lifetime"
 	"envy/internal/sim"
 	"envy/internal/stats"
@@ -38,6 +39,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "concurrent bank programs (§6 extension)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
+		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
 	)
 	flag.Parse()
 
@@ -89,9 +91,19 @@ func main() {
 	if _, err := dr.Run(*rate, sim.Duration(*warm*1e9)); err != nil {
 		log.Fatal(err)
 	}
+	if *check {
+		if err := invariant.CheckDevice(dev); err != nil {
+			log.Fatalf("invariant violation after warm-up: %v", err)
+		}
+	}
 	res, err := dr.Run(*rate, sim.Duration(*seconds*1e9))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *check {
+		if err := invariant.CheckDevice(dev); err != nil {
+			log.Fatalf("invariant violation after measured run: %v", err)
+		}
 	}
 
 	fmt.Printf("\noffered %.0f TPS for %.2fs simulated\n", res.Offered, res.Duration.Seconds())

@@ -1,0 +1,308 @@
+// Command envyvet runs the module's static-analysis suite (simtime,
+// flashstate, panicpolicy, exhaustive — see internal/analysis) in two
+// modes.
+//
+// Standalone, for humans:
+//
+//	go run ./cmd/envyvet ./...
+//
+// shells out to `go list -deps -export -test -json` for package facts
+// and compiler export data, type-checks every module package
+// (including test variants) from source, and prints findings as
+// file:line:col: message, exiting nonzero if there are any.
+//
+// As a vet tool, for CI and `go vet` caching:
+//
+//	go build -o envyvet ./cmd/envyvet
+//	go vet -vettool=$(pwd)/envyvet ./...
+//
+// speaks the go vet unitchecker protocol: -V=full for the tool
+// fingerprint, then one .cfg JSON file per package naming its sources
+// and the export data of its dependencies.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"envy/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags; go vet asks for a JSON list.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion emits the fingerprint line the go command caches vet
+// results under. The format must be "<name> version <version>", and a
+// hash of the tool's own binary goes into the version token so
+// rebuilding envyvet invalidates stale vet results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version 1.0.0-%x\n", name, h.Sum(nil)[:16])
+}
+
+// scrubImportPath removes the " [pkg.test]" disambiguator go appends
+// to test-variant import paths, so analyzers see the declared path.
+func scrubImportPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// newInfo allocates the type-checker result maps the analyzers need.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// analyzePackage runs the whole suite over one type-checked package
+// and prints findings; it returns the number found. seen (optional)
+// dedupes repeats: with `go list -test`, a package with in-package
+// test files is analyzed twice — plain and test-augmented — and its
+// non-test files would otherwise report everything twice.
+func analyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, seen map[string]bool) int {
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.All() {
+		if err := analysis.Run(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: %s on %s: %v\n", a.Name, pkg.Path(), err)
+		}
+	}
+	analysis.SortDiagnostics(fset, diags)
+	count := 0
+	for _, d := range diags {
+		line := fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message)
+		if seen != nil {
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+		}
+		fmt.Fprintln(os.Stderr, line)
+		count++
+	}
+	return count
+}
+
+// ---------------- go vet unitchecker protocol ----------------
+
+// vetConfig is the package description the go command writes for a
+// vet tool (the fields of x/tools' unitchecker.Config this driver
+// consumes).
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "envyvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// This suite keeps no cross-package facts, but the protocol
+	// requires the facts file to exist for dependent packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := newInfo()
+	pkg, err := conf.Check(scrubImportPath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+		return 1
+	}
+	if analyzePackage(fset, files, pkg, info, nil) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// ---------------- standalone driver ----------------
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "envyvet: go list: %v\n", err)
+		return 1
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		switch {
+		case p.Standard, p.Module == nil, len(p.GoFiles) == 0:
+			continue // outside the module, or nothing to analyze
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main
+		}
+		targets = append(targets, p)
+	}
+
+	fset := token.NewFileSet()
+	findings, failed := 0, false
+	seen := make(map[string]bool)
+	for _, p := range targets {
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+				parseFailed = true
+				break
+			}
+			files = append(files, f)
+		}
+		if parseFailed {
+			failed = true
+			continue
+		}
+		// A fresh importer per package: test-variant import maps can
+		// bind the same path to different export data, so the
+		// importer's internal cache must not leak across packages.
+		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			if canonical, ok := p.ImportMap[path]; ok {
+				path = canonical
+			}
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		pkg, err := conf.Check(scrubImportPath(p.ImportPath), fset, files, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: type-checking %s: %v\n", p.ImportPath, err)
+			failed = true
+			continue
+		}
+		findings += analyzePackage(fset, files, pkg, info, seen)
+	}
+	if failed {
+		return 1
+	}
+	if findings > 0 {
+		return 2
+	}
+	return 0
+}

@@ -180,15 +180,48 @@ func (dev *Device) WriteWord(addr uint64, v uint32) time.Duration {
 }
 
 // Read fills p from addr, one word-sized host access at a time, and
-// returns the cumulative latency.
+// returns the cumulative latency. An out-of-range access panics, as a
+// wild pointer through a real memory bus would fault; hosts that
+// cannot trust their addresses should use ReadErr.
 func (dev *Device) Read(p []byte, addr uint64) time.Duration {
 	return time.Duration(dev.d.Read(p, addr))
 }
 
+// ReadErr is Read with the address range validated up front: an
+// out-of-range access returns an error instead of panicking, with no
+// time charged and no state changed.
+func (dev *Device) ReadErr(p []byte, addr uint64) (time.Duration, error) {
+	lat, err := dev.d.ReadErr(p, addr)
+	return time.Duration(lat), err
+}
+
 // Write stores p at addr, one word-sized host access at a time, and
-// returns the cumulative latency.
+// returns the cumulative latency. An out-of-range access panics; see
+// Read.
 func (dev *Device) Write(p []byte, addr uint64) time.Duration {
 	return time.Duration(dev.d.Write(p, addr))
+}
+
+// WriteErr is Write with the address range validated up front,
+// returning an error instead of panicking on an out-of-range access.
+func (dev *Device) WriteErr(p []byte, addr uint64) (time.Duration, error) {
+	lat, err := dev.d.WriteErr(p, addr)
+	return time.Duration(lat), err
+}
+
+// ReadWordErr is ReadWord with the address validated up front: an
+// out-of-range or page-straddling access returns an error instead of
+// panicking.
+func (dev *Device) ReadWordErr(addr uint64) (uint32, time.Duration, error) {
+	v, lat, err := dev.d.ReadWordErr(addr)
+	return v, time.Duration(lat), err
+}
+
+// WriteWordErr is WriteWord with the address validated up front,
+// returning an error instead of panicking.
+func (dev *Device) WriteWordErr(addr uint64, v uint32) (time.Duration, error) {
+	lat, err := dev.d.WriteWordErr(addr, v)
+	return time.Duration(lat), err
 }
 
 // Preload installs initial contents directly into Flash, bypassing the

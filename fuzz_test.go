@@ -1,0 +1,95 @@
+package envy
+
+import (
+	"testing"
+	"time"
+
+	"envy/internal/invariant"
+)
+
+// FuzzDeviceReadWrite interprets the fuzzer's byte stream as a program
+// of host operations — word reads and writes (valid and wild), idle
+// stretches, power cycles, transactions — against a small device, and
+// checks every whole-device invariant after each step. Any sequence of
+// host operations that drives the device into a state CheckDevice
+// rejects is a bug, including operations that fail: a rejected
+// out-of-range access must leave no trace.
+func FuzzDeviceReadWrite(f *testing.F) {
+	// Seeds: a write burst, read-after-write, an idle drain, power
+	// cycles mid-traffic, a transaction with rollback, and a wild
+	// (out-of-range) access mixed into normal traffic.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0})
+	f.Add([]byte{0, 0, 0, 8, 0, 0, 0, 1, 0, 8, 1, 0})
+	f.Add([]byte{0, 0, 0, 5, 64, 8, 0, 0, 5, 255})
+	f.Add([]byte{0, 0, 0, 6, 0, 1, 0, 6, 0, 2, 0})
+	f.Add([]byte{7, 0, 0, 0, 0, 1, 0, 7, 7, 0, 2, 0, 7})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 0, 0, 1, 8, 255, 255})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		// Cap the interpreted program so one giant mutated input
+		// cannot stall the fuzzer: 512 bytes is ~170 operations,
+		// enough to reach cleaning and wear swaps on this geometry.
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		dev, err := New(Config{
+			PageSize:          64,
+			PagesPerSegment:   16,
+			Segments:          8,
+			Banks:             2,
+			Policy:            HybridPolicy,
+			PartitionSegments: 2,
+			WearThreshold:     8,
+			BufferPages:       24,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chk invariant.Checker
+		inTxn := false
+		for step := 0; step+3 <= len(program); step += 3 {
+			op, lo, hi := program[step], program[step+1], program[step+2]
+			// Word addresses sweep past the device end (size + a page)
+			// so wild accesses exercise the rejected-error path too.
+			addr := (uint64(hi)<<8 | uint64(lo)) * 4 % (uint64(dev.Size()) + 64)
+			switch op % 8 {
+			case 0, 1, 2:
+				if _, err := dev.WriteWordErr(addr, uint32(step)); err != nil && addr < uint64(dev.Size()) {
+					t.Fatalf("step %d: in-range write rejected: %v", step, err)
+				}
+			case 3, 4:
+				if _, _, err := dev.ReadWordErr(addr); err != nil && addr < uint64(dev.Size()) {
+					t.Fatalf("step %d: in-range read rejected: %v", step, err)
+				}
+			case 5:
+				dev.Idle(time.Duration(lo) * time.Microsecond)
+			case 6:
+				dev.PowerCycle()
+			case 7:
+				if !inTxn {
+					err = dev.Begin()
+				} else if lo%2 == 0 {
+					err = dev.Commit()
+				} else {
+					err = dev.Rollback()
+				}
+				if err != nil {
+					t.Fatalf("step %d: transaction op failed: %v", step, err)
+				}
+				inTxn = !inTxn
+			}
+			if err := chk.Check(dev.Core()); err != nil {
+				t.Fatalf("after step %d (op %d): %v", step, op%8, err)
+			}
+		}
+		if inTxn {
+			if err := dev.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev.Idle(10 * time.Second) // drain all background work
+		if err := chk.Check(dev.Core()); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+	})
+}

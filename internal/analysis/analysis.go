@@ -1,0 +1,145 @@
+// Package analysis is a self-contained, dependency-free skeleton of
+// the go/analysis model: an Analyzer inspects one type-checked package
+// and reports Diagnostics. It exists because this module vendors no
+// external tooling — the envyvet checkers (simtime, flashstate,
+// panicpolicy, exhaustive) are built on it, and cmd/envyvet drives
+// them both standalone and under `go vet -vettool`.
+//
+// The deliberate differences from golang.org/x/tools/go/analysis:
+//
+//   - No Facts and no Requires graph: every analyzer here is a single
+//     whole-package pass, so cross-package state is unnecessary.
+//
+//   - Built-in suppression: a line comment of the form
+//
+//     //envyvet:allow <analyzer> [<analyzer>...]
+//
+//     on the offending line, or alone on the line above it, silences
+//     the named analyzers (or every analyzer, with the name "all") for
+//     that line. Invariant-corruption tests use this to mutate guarded
+//     state deliberately.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one checker: a name for diagnostics and suppression
+// comments, documentation, and the per-package run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned within the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass hands one type-checked package to an analyzer. TypesInfo must
+// be populated with at least Types, Uses, Defs, and Selections.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report  func(Diagnostic)
+	allowed map[lineKey]map[string]bool
+}
+
+// lineKey identifies one source line across the file set.
+type lineKey struct {
+	file string
+	line int
+}
+
+// Reportf records a diagnostic at pos unless an //envyvet:allow
+// comment suppresses this analyzer on that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if names := p.allowed[lineKey{position.Filename, position.Line}]; names[p.Analyzer.Name] || names["all"] {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run applies one analyzer to one package, delivering diagnostics that
+// survive suppression to report.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) error {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		allowed:   suppressions(fset, files),
+	}
+	return a.Run(pass)
+}
+
+// suppressions indexes every //envyvet:allow comment by the lines it
+// covers: its own line (trailing-comment form) and the next line
+// (comment-above form).
+func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
+	allowed := make(map[lineKey]map[string]bool)
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//envyvet:allow")
+				if !ok {
+					continue
+				}
+				names := strings.Fields(text)
+				if len(names) == 0 {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				for _, line := range []int{position.Line, position.Line + 1} {
+					key := lineKey{position.Filename, line}
+					if allowed[key] == nil {
+						allowed[key] = make(map[string]bool)
+					}
+					for _, name := range names {
+						allowed[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// All returns the full envyvet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive}
+}
+
+// SortDiagnostics orders diagnostics by file position for stable
+// driver output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

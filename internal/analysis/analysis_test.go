@@ -1,0 +1,195 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"envy/internal/analysis"
+)
+
+// The fixture harness mirrors x/tools' analysistest: each package
+// under testdata/src is parsed and type-checked with its import path,
+// the analyzer runs over it, and every diagnostic must line up with a
+// `// want `+"`regex`"+` comment on the same line (and vice versa).
+
+// fixtureImporter resolves imports among the testdata packages, so
+// fixtures never touch real standard-library export data.
+type fixtureImporter struct {
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	files, err := parseFixture(imp.fset, path)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, imp.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	imp.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseFixture parses every .go file of the fixture package at the
+// given import path.
+func parseFixture(fset *token.FileSet, path string) ([]*ast.File, error) {
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s has no Go files", path)
+	}
+	return files, nil
+}
+
+// want is one expectation: a diagnostic matching re on the given line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// collectWants extracts the `// want` comments relevant to one
+// analyzer from fixture files. Fixtures are shared between analyzers
+// (the panics fixture doubles as a simtime negative), so every want
+// pattern starts with the name of the analyzer it belongs to.
+func collectWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil || !strings.HasPrefix(m[1], a.Name) {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one analyzer against one fixture package.
+func runFixture(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseFixture(fset, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &fixtureImporter{fset: fset, pkgs: make(map[string]*types.Package)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+
+	var got []analysis.Diagnostic
+	if err := analysis.Run(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		got = append(got, d)
+	}); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, path, err)
+	}
+	analysis.SortDiagnostics(fset, got)
+
+	wants := collectWants(t, a, fset, files)
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestSimtime(t *testing.T) {
+	runFixture(t, analysis.Simtime, "envy/internal/core")   // violations + suppression
+	runFixture(t, analysis.Simtime, "envy/examples/clock")  // out of scope: clean
+	runFixture(t, analysis.Simtime, "envy/internal/panics") // no time use at all: clean
+}
+
+func TestFlashstate(t *testing.T) {
+	runFixture(t, analysis.Flashstate, "envy/examples/rogue")    // violations + cache/read/suppression negatives
+	runFixture(t, analysis.Flashstate, "envy/internal/flash")    // owner mutating its own state: clean
+	runFixture(t, analysis.Flashstate, "envy/internal/switcher") // reads only: clean
+}
+
+func TestPanicpolicy(t *testing.T) {
+	runFixture(t, analysis.Panicpolicy, "envy/internal/panics") // message-shape rules
+	runFixture(t, analysis.Panicpolicy, "envy")                 // public API: all panics flagged
+	runFixture(t, analysis.Panicpolicy, "envy/cmd/tool")        // out of scope: clean
+}
+
+func TestExhaustive(t *testing.T) {
+	runFixture(t, analysis.Exhaustive, "envy/internal/switcher") // module/local/hidden enums
+	runFixture(t, analysis.Exhaustive, "envy/internal/flash")    // declarations only: clean
+}
+
+// TestAll pins the suite contents: drivers and CI rely on these four.
+func TestAll(t *testing.T) {
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	joined := strings.Join(names, " ")
+	if joined != "exhaustive flashstate panicpolicy simtime" {
+		t.Fatalf("analyzer suite = %q", joined)
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Exhaustive requires switches over this module's enum-like types to
+// either cover every declared constant or carry an explicit default.
+// The policy dispatch points (cleaner.Kind, cleaner.StepKind), the
+// page lifecycle (flash.PageState), the controller time breakdown
+// (stats.Activity), and the public envy.Policy all grow by adding a
+// constant; a silent fall-through at a switch that predates the new
+// constant is exactly the bug this catches.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "require switches over module enums to be exhaustive or defaulted\n\n" +
+		"An enum-like type is a named integer type declared in this module\n" +
+		"with two or more package-level constants of that exact type\n" +
+		"(envy.Policy, cleaner.Kind, cleaner.StepKind, flash.PageState,\n" +
+		"stats.Activity, ...). A switch over one must list every constant\n" +
+		"value or have a default clause; a constant invisible to the\n" +
+		"switching package (an unexported sentinel like stats.numActivities)\n" +
+		"forces the default. _test.go files are exempt.",
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path != "envy" && !strings.HasPrefix(path, "envy/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.SwitchStmt)
+			if !ok || st.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.TypeOf(st.Tag)
+			if tagType == nil {
+				return true
+			}
+			named, ok := types.Unalias(tagType).(*types.Named)
+			if !ok {
+				return true
+			}
+			members := enumMembers(named)
+			if len(members) < 2 {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, clause := range st.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // explicit default: always safe
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.value] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(st.Pos(), "exhaustive: switch over %s.%s has no default and misses %s",
+					named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumMember is one declared constant of an enum type: its name for
+// the diagnostic and its exact constant value for coverage matching
+// (aliases with equal values count as covered together).
+type enumMember struct {
+	name  string
+	value string
+}
+
+// enumMembers returns the package-level constants declared with the
+// exact type named, or nil if it is not an enum-like type (not
+// module-local, or not an integer).
+func enumMembers(named *types.Named) []enumMember {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	if path := obj.Pkg().Path(); path != "envy" && !strings.HasPrefix(path, "envy/") {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	var members []enumMember
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members = append(members, enumMember{name: c.Name(), value: c.Val().ExactString()})
+	}
+	return members
+}

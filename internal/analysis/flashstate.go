@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Flashstate confines mutation of the two authoritative state stores —
+// the flash array's page lifecycle and the page table's mappings — to
+// the layers that own them. Everyone else (examples, commands, tests
+// in other packages, benchmark harnesses) must go through the
+// controller's API, or the invariants CheckDevice enforces stop
+// meaning anything. Deliberate corruption in invariant tests is
+// marked with //envyvet:allow flashstate.
+var Flashstate = &Analyzer{
+	Name: "flashstate",
+	Doc: "confine flash-array and page-table mutation to the owning layers\n\n" +
+		"Program/Invalidate/Erase on *flash.Array and MapFlash/MapSRAM/\n" +
+		"Unmap on *pagetable.Table change state that the whole-device\n" +
+		"invariants are written against. Only internal/flash,\n" +
+		"internal/pagetable, internal/core, and internal/cleaner may call\n" +
+		"them; calls from any other package are flagged. Reads (State,\n" +
+		"Owner, Lookup) and the MMU translation cache are unrestricted.",
+	Run: runFlashstate,
+}
+
+// stateOwners are the packages allowed to mutate guarded state: the
+// two stores themselves plus the controller and the cleaner, which
+// together implement every legal transition.
+var stateOwners = map[string]bool{
+	"envy/internal/flash":     true,
+	"envy/internal/pagetable": true,
+	"envy/internal/core":      true,
+	"envy/internal/cleaner":   true,
+}
+
+// guardedMethods maps a receiver type (package path dot type name) to
+// its mutating methods.
+var guardedMethods = map[string]map[string]bool{
+	"envy/internal/flash.Array": {
+		"Program":    true,
+		"Invalidate": true,
+		"Erase":      true,
+	},
+	"envy/internal/pagetable.Table": {
+		"MapFlash": true,
+		"MapSRAM":  true,
+		"Unmap":    true,
+	},
+}
+
+func runFlashstate(pass *Pass) error {
+	if stateOwners[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.MethodVal {
+				return true
+			}
+			fn, ok := selection.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := types.Unalias(recv).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if guardedMethods[key][fn.Name()] {
+				pass.Reportf(call.Pos(), "flashstate: (*%s.%s).%s mutates guarded state from package %s; only the owning layers (flash, pagetable, core, cleaner) may, everyone else goes through the device API",
+					named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Panicpolicy enforces the module's two panic rules. In the public
+// envy package a panic is never acceptable: hosts reach the device
+// through it, and every failure there has an error-returning form
+// (ReadErr, WriteErr, ...), so any panic reachable from the public
+// surface is a bug by policy. In the internal packages a panic is a
+// programming-error trap and must identify its origin: the message
+// must be an error value or start with a lowercase "pkg: " prefix, so
+// a recovered trace names the layer that tripped.
+var Panicpolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc: "require pkg-prefixed panic messages; forbid panics in the public API\n\n" +
+		"In package envy (the host-facing surface) every panic is flagged:\n" +
+		"out-of-range host accesses have Err variants, and nothing else\n" +
+		"may fault the host. In envy/internal/... a panic must carry an\n" +
+		"error value or a message starting with a lowercase \"pkg: \"\n" +
+		"prefix (a string literal, a fmt.Sprintf/fmt.Errorf whose format\n" +
+		"starts with the prefix, or a concatenation whose leftmost operand\n" +
+		"does). _test.go files are exempt.",
+	Run: runPanicpolicy,
+}
+
+// panicPrefix is the required message shape: a lowercase package-ish
+// tag, a colon, a space.
+var panicPrefix = regexp.MustCompile(`^[a-z][a-z0-9]*: `)
+
+func runPanicpolicy(pass *Pass) error {
+	path := pass.Pkg.Path()
+	public := path == "envy"
+	if !public && !strings.HasPrefix(path, "envy/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			switch {
+			case public:
+				pass.Reportf(call.Pos(), "panicpolicy: the public envy package must not panic; return an error (see the Err access variants)")
+			case len(call.Args) != 1 || !allowedPanicArg(pass, call.Args[0]):
+				pass.Reportf(call.Pos(), "panicpolicy: panic message must be an error value or start with a lowercase \"pkg: \" prefix")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allowedPanicArg reports whether e satisfies the internal-package
+// panic policy.
+func allowedPanicArg(pass *Pass, e ast.Expr) bool {
+	// Re-panicking an error value keeps its origin; allowed.
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		if types.AssignableTo(t, types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	// Any constant string (literal, named constant, constant concat)
+	// must carry the prefix itself.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return tv.Value.Kind() == constant.String && panicPrefix.MatchString(constant.StringVal(tv.Value))
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		// "pkg: " + detail — judge the leftmost operand.
+		return e.Op.String() == "+" && allowedPanicArg(pass, e.X)
+	case *ast.CallExpr:
+		// fmt.Sprintf / fmt.Errorf with a prefixed format string.
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return false
+		}
+		if fn.Name() != "Sprintf" && fn.Name() != "Errorf" {
+			return false
+		}
+		return len(e.Args) > 0 && allowedPanicArg(pass, e.Args[0])
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Simtime forbids wall-clock access inside the simulation: the eNVy
+// model is deterministic, so every timestamp and delay in the
+// controller stack must flow through sim.Time/sim.Duration (§5 of the
+// paper simulates the hardware clock). A time.Now() in the cleaner
+// would silently couple results to host speed.
+var Simtime = &Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time in simulation packages\n\n" +
+		"The packages that model the device (core, cleaner, flash, sram,\n" +
+		"sim, experiments, tpca, workload) must be deterministic: all\n" +
+		"timing flows through sim.Time and sim.Duration. Calls that read\n" +
+		"the host clock or block on host timers (time.Now, time.Since,\n" +
+		"time.Sleep, timers, tickers) are flagged. Declaring values of\n" +
+		"type time.Duration remains fine — sim.Duration is defined in\n" +
+		"those terms.",
+	Run: runSimtime,
+}
+
+// simPackages is the deterministic territory.
+var simPackages = map[string]bool{
+	"envy/internal/core":        true,
+	"envy/internal/cleaner":     true,
+	"envy/internal/flash":       true,
+	"envy/internal/sram":        true,
+	"envy/internal/sim":         true,
+	"envy/internal/experiments": true,
+	"envy/internal/tpca":        true,
+	"envy/internal/workload":    true,
+}
+
+// wallClock lists the time-package functions that read or wait on the
+// host clock. Pure conversions and constructors (Unix, Date, Parse)
+// are not banned: they do not observe the present.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runSimtime(pass *Pass) error {
+	if !simPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallClock[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "simtime: time.%s reads the wall clock; simulated components must take time from sim.Time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

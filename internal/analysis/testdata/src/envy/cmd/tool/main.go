@@ -1,0 +1,7 @@
+// Package main is an analyzer fixture outside panicpolicy's scope:
+// commands may panic however they like.
+package main
+
+func main() {
+	panic("anything goes in commands")
+}

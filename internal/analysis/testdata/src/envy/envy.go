@@ -1,0 +1,17 @@
+// Package envy is an analyzer fixture standing in for the module's
+// public API package, where panicking is forbidden outright.
+package envy
+
+// Read faults on a wild address — which the policy forbids at this
+// layer.
+func Read(addr uint64) uint32 {
+	if addr > 1<<20 {
+		panic("envy: address out of range") // want `panicpolicy: the public envy package must not panic`
+	}
+	return 0
+}
+
+// ReadErr is the compliant form.
+func ReadErr(addr uint64) (uint32, error) {
+	return 0, nil
+}

@@ -1,0 +1,8 @@
+// Package clock is an analyzer fixture outside the simulation
+// packages, where the wall clock is fair game.
+package clock
+
+import "time"
+
+// Stamp reads the host clock; simtime must not flag it here.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,24 @@
+// Package rogue is an analyzer fixture that pokes at guarded state
+// from outside the owning layers.
+package rogue
+
+import (
+	"envy/internal/flash"
+	"envy/internal/pagetable"
+)
+
+// Meddle mutates the flash array and page table directly.
+func Meddle(a *flash.Array, t *pagetable.Table, m *pagetable.MMU) {
+	a.Program(0, 0, nil) // want `flashstate: \(\*flash\.Array\)\.Program mutates guarded state`
+	a.Invalidate(3)      // want `flashstate: \(\*flash\.Array\)\.Invalidate`
+	a.Erase(1)           // want `flashstate: \(\*flash\.Array\)\.Erase`
+	t.MapFlash(0, 9)     // want `flashstate: \(\*pagetable\.Table\)\.MapFlash`
+	t.MapSRAM(0)         // want `flashstate: \(\*pagetable\.Table\)\.MapSRAM`
+	t.Unmap(0)           // want `flashstate: \(\*pagetable\.Table\)\.Unmap`
+
+	m.Invalidate(0) // the MMU is a cache, not guarded state
+	_ = a.State(0)  // reads are unrestricted
+	_, _ = t.Lookup(0)
+
+	a.Erase(2) //envyvet:allow flashstate
+}

@@ -1,0 +1,28 @@
+// Package core is an analyzer fixture standing in for
+// envy/internal/core: the simtime analyzer treats this import path as
+// deterministic simulation territory.
+package core
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `simtime: time\.Now reads the wall clock`
+}
+
+func alsoBad(start time.Time) time.Duration {
+	time.Sleep(1)               // want `simtime: time\.Sleep`
+	elapsed := start.Sub(start) // method values on time.Time are fine
+	_ = elapsed
+	return time.Since(start) // want `simtime: time\.Since`
+}
+
+func waiting() {
+	<-time.After(1) // want `simtime: time\.After`
+}
+
+func deliberate() time.Time {
+	return time.Now() //envyvet:allow simtime
+}
+
+// durations are plain arithmetic, not clock access.
+func fine(d time.Duration) time.Duration { return d + 1 }

@@ -1,0 +1,39 @@
+// Package flash is an analyzer fixture standing in for
+// envy/internal/flash: it declares the guarded Array mutators and the
+// PageState enum the flashstate and exhaustive analyzers know about.
+package flash
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+// Page lifecycle states.
+const (
+	Free PageState = iota
+	Valid
+	Invalid
+)
+
+// Array is the guarded state store.
+type Array struct{ state []PageState }
+
+// Program marks a page Valid.
+func (a *Array) Program(ppn, logical uint32, payload []byte) {}
+
+// Invalidate marks a page Invalid.
+func (a *Array) Invalidate(ppn uint32) {}
+
+// Erase frees every page of a segment.
+func (a *Array) Erase(seg int) {}
+
+// State reads a page's lifecycle state.
+func (a *Array) State(ppn uint32) PageState { return Free }
+
+// format shows the owning package mutating its own state: flashstate
+// must not flag calls from inside envy/internal/flash.
+func format(a *Array) {
+	for seg := 0; seg < 4; seg++ {
+		a.Erase(seg)
+	}
+	a.Program(0, 0, nil)
+	a.Invalidate(0)
+}

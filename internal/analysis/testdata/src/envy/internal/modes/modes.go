@@ -1,0 +1,14 @@
+// Package modes is an analyzer fixture declaring an enum with an
+// unexported sentinel, so no foreign switch over M can be exhaustive
+// without a default clause.
+package modes
+
+// M is an enum-like mode.
+type M int
+
+// Modes, with a count sentinel.
+const (
+	A M = iota
+	B
+	numModes
+)

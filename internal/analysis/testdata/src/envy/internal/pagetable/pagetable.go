@@ -1,0 +1,26 @@
+// Package pagetable is an analyzer fixture standing in for
+// envy/internal/pagetable: the guarded Table mutators plus the MMU,
+// whose cache operations are deliberately unguarded.
+package pagetable
+
+// Table is the guarded mapping store.
+type Table struct{}
+
+// MapFlash points a logical page at a flash page.
+func (t *Table) MapFlash(logical, ppn uint32) {}
+
+// MapSRAM points a logical page into the write buffer.
+func (t *Table) MapSRAM(logical uint32) {}
+
+// Unmap removes a logical page's mapping.
+func (t *Table) Unmap(logical uint32) {}
+
+// Lookup reads a mapping.
+func (t *Table) Lookup(logical uint32) (uint32, bool) { return 0, false }
+
+// MMU is the translation cache; invalidating a cache entry is not a
+// state mutation.
+type MMU struct{}
+
+// Invalidate drops a cached translation.
+func (m *MMU) Invalidate(logical uint32) {}

@@ -1,0 +1,48 @@
+// Package panics is an analyzer fixture exercising the panicpolicy
+// message rules for internal packages.
+package panics
+
+import "fmt"
+
+const prefixed = "panics: named constant"
+
+func compliant(err error, n int) {
+	if n == 1 {
+		panic("panics: impossible state")
+	}
+	if n == 2 {
+		panic(fmt.Sprintf("panics: bad page %d", n))
+	}
+	if n == 3 {
+		panic(fmt.Errorf("panics: bad page %d", n))
+	}
+	if n == 4 {
+		panic(err)
+	}
+	if n == 5 {
+		panic("panics: " + describe(n))
+	}
+	panic(prefixed)
+}
+
+func violating(n int) {
+	if n == 1 {
+		panic("no prefix at all") // want `panicpolicy: panic message must`
+	}
+	if n == 2 {
+		panic(fmt.Sprintf("bad page %d", n)) // want `panicpolicy: panic message must`
+	}
+	if n == 3 {
+		panic("Panics: wrong case") // want `panicpolicy: panic message must`
+	}
+	if n == 4 {
+		panic(describe(n)) // want `panicpolicy: panic message must`
+	}
+	panic(n) // want `panicpolicy: panic message must`
+}
+
+func deliberate() {
+	panic("just testing") //envyvet:allow panicpolicy
+}
+
+func describe(n int) string { return "detail" }

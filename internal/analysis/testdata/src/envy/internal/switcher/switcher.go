@@ -1,0 +1,78 @@
+// Package switcher is an analyzer fixture exercising the exhaustive
+// analyzer over module enums, local enums, and non-enums.
+package switcher
+
+import (
+	"envy/internal/flash"
+	"envy/internal/modes"
+)
+
+type step int
+
+const (
+	copyStep step = iota
+	eraseStep
+)
+
+func full(s flash.PageState) int {
+	switch s {
+	case flash.Free:
+		return 0
+	case flash.Valid:
+		return 1
+	case flash.Invalid:
+		return 2
+	}
+	return -1
+}
+
+func missing(s flash.PageState) int {
+	switch s { // want `exhaustive: switch over flash\.PageState has no default and misses Invalid`
+	case flash.Free:
+		return 0
+	case flash.Valid:
+		return 1
+	}
+	return -1
+}
+
+func defaulted(s flash.PageState) int {
+	switch s {
+	case flash.Free:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func local(k step) string {
+	switch k { // want `exhaustive: switch over switcher\.step has no default and misses eraseStep`
+	case copyStep:
+		return "copy"
+	}
+	return ""
+}
+
+func hidden(m modes.M) string {
+	switch m { // want `exhaustive: switch over modes\.M has no default and misses numModes`
+	case modes.A, modes.B:
+		return "ab"
+	}
+	return ""
+}
+
+func deliberate(s flash.PageState) int {
+	switch s { //envyvet:allow exhaustive
+	case flash.Free:
+		return 0
+	}
+	return -1
+}
+
+func notEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

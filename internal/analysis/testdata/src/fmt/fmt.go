@@ -1,0 +1,11 @@
+// Package fmt is a test double for the standard library's fmt
+// package: just enough surface for the analyzer fixtures to
+// typecheck.
+package fmt
+
+// Sprintf formats according to a format specifier.
+func Sprintf(format string, args ...interface{}) string { return format }
+
+// Errorf formats according to a format specifier and returns it as an
+// error.
+func Errorf(format string, args ...interface{}) error { return nil }

@@ -1,0 +1,25 @@
+// Package time is a test double for the standard library's time
+// package: just enough surface for the analyzer fixtures to
+// typecheck without importing real standard-library export data.
+package time
+
+// A Time is an instant.
+type Time struct{}
+
+// A Duration is a span of time.
+type Duration int64
+
+// Sub returns t-u.
+func (t Time) Sub(u Time) Duration { return 0 }
+
+// Now returns the current wall-clock instant.
+func Now() Time { return Time{} }
+
+// Since returns the time elapsed since t.
+func Since(t Time) Duration { return 0 }
+
+// Sleep pauses for at least d.
+func Sleep(d Duration) {}
+
+// After waits for d to elapse.
+func After(d Duration) <-chan Time { return nil }

@@ -254,6 +254,13 @@ func (e *Engine) Partitions() int {
 // -1 for the spare segment.
 func (e *Engine) PartitionOf(seg int) int { return e.partOf[seg] }
 
+// WearMark returns a segment's erase count as of its last wear swap.
+// A segment whose current count equals its mark has been retired to
+// cold duty and rests there by design; one with a higher count is
+// still accumulating wear and is subject to the leveling threshold.
+// The invariant checker uses this to bound the live wear spread.
+func (e *Engine) WearMark(seg int) int64 { return e.wearMark[seg] }
+
 // Home returns the home tag to record when a logical page enters the
 // SRAM write buffer: the partition that currently holds (or should
 // hold) the page. ppnValid reports whether the page has a Flash copy at

@@ -1,0 +1,88 @@
+package cleaner
+
+import (
+	"strings"
+	"testing"
+
+	"envy/internal/flash"
+)
+
+func invariantHarness(t *testing.T, kind Kind) *Harness {
+	t.Helper()
+	h, err := NewHarness(flash.Geometry{PageSize: 64, PagesPerSegment: 16, Segments: 8, Banks: 2},
+		Config{Kind: kind, PartitionSegments: 2, WearThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestCheckInvariantsFires corrupts an engine in targeted ways and
+// asserts CheckInvariants names each violation. The corruptions reach
+// directly into engine and array state, which no API path can do.
+func TestCheckInvariantsFires(t *testing.T) {
+	tests := []struct {
+		name    string
+		kind    Kind
+		corrupt func(h *Harness)
+		want    string // substring of the expected violation
+	}{
+		{
+			name: "non-erased spare",
+			kind: Hybrid,
+			corrupt: func(h *Harness) {
+				// Program one page inside the spare segment: §3.4's
+				// always-one-erased-segment guarantee is gone.
+				geo := h.arr.Geometry()
+				h.arr.Program(geo.PPN(h.eng.spare, 0), 0, nil)
+			},
+			want: "not erased",
+		},
+		{
+			name: "spare assigned to a partition",
+			kind: Hybrid,
+			corrupt: func(h *Harness) {
+				h.eng.partOf[h.eng.spare] = 0
+			},
+			want: "still assigned to partition",
+		},
+		{
+			name: "free-page hole",
+			kind: Greedy,
+			corrupt: func(h *Harness) {
+				// Program page 1 of an empty segment, leaving page 0
+				// Free: allocation is no longer append-only.
+				geo := h.arr.Geometry()
+				seg := (h.eng.spare + 1) % geo.Segments
+				h.arr.Program(geo.PPN(seg, 1), 7, nil)
+			},
+			want: "after a free page",
+		},
+		{
+			name: "segment in two partitions",
+			kind: Hybrid,
+			corrupt: func(h *Harness) {
+				// Replace (not append, which would trip the size check
+				// first) so the duplicate-membership check fires.
+				h.eng.parts[1].segs[0] = h.eng.parts[0].segs[0]
+			},
+			want: "in partitions",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := invariantHarness(t, tc.kind)
+			if err := h.eng.CheckInvariants(); err != nil {
+				t.Fatalf("fresh engine inconsistent: %v", err)
+			}
+			tc.corrupt(h)
+			err := h.eng.CheckInvariants()
+			if err == nil {
+				t.Fatal("CheckInvariants accepted the corrupted engine")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CheckInvariants reported %q, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -276,6 +276,44 @@ func (d *Device) BufferLen() int { return d.buf.Len() }
 // Engine exposes the cleaning engine for inspection.
 func (d *Device) Engine() *cleaner.Engine { return d.eng }
 
+// PageTable exposes the logical-to-physical mapping for inspection
+// (invariant checking). Callers must not mutate it: the page table is
+// owned by the controller, which keeps it consistent with the Flash
+// array and the write buffer.
+func (d *Device) PageTable() *pagetable.Table { return d.table }
+
+// Buffer exposes the SRAM write buffer for inspection. Callers must
+// not insert or remove frames.
+func (d *Device) Buffer() *sram.Buffer { return d.buf }
+
+// FlushTarget returns where an in-flight flush of a logical page is
+// programming its Flash copy, if one is in flight.
+func (d *Device) FlushTarget(lpn uint32) (ppn uint32, ok bool) {
+	ppn, ok = d.flushPPN[lpn]
+	return ppn, ok
+}
+
+// FlushTargets iterates the in-flight flush reservations (logical page
+// and destination physical page) in unspecified order.
+func (d *Device) FlushTargets(fn func(lpn, ppn uint32)) {
+	for lpn, ppn := range d.flushPPN {
+		fn(lpn, ppn)
+	}
+}
+
+// Shadows iterates the open transaction's shadow records: the logical
+// page, whether the pre-transaction copy is intact in Flash, and where.
+func (d *Device) Shadows(fn func(lpn uint32, hasFlash bool, ppn uint32)) {
+	for lpn, sh := range d.shadows {
+		fn(lpn, sh.hasFlash, sh.ppn)
+	}
+}
+
+// BackgroundCursor returns the point on the timeline up to which
+// background work has been simulated. Between host operations it always
+// equals Now; the invariant checker asserts exactly that.
+func (d *Device) BackgroundCursor() sim.Time { return d.bg.cursor }
+
 // ResetStats zeroes counters, latency histograms and the time
 // breakdown — typically called after warm-up.
 func (d *Device) ResetStats() {
@@ -293,11 +331,31 @@ func (d *Device) PowerCycle() {
 	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
 }
 
-func (d *Device) checkAddr(addr uint64, n int) uint32 {
-	if int64(addr)+int64(n) > d.Size() {
-		panic(fmt.Sprintf("core: access at %d+%d beyond device size %d", addr, n, d.Size()))
+// AccessError reports a host access the device rejected before any
+// state changed or simulated time passed.
+type AccessError struct {
+	Addr uint64 // first byte of the rejected access
+	Len  int    // access length in bytes
+	Size int64  // logical device size
+
+	// Boundary is true when a word access straddles a page boundary
+	// (the paper's word-sized host interface cannot split an access);
+	// false when the access runs past the end of the device.
+	Boundary bool
+}
+
+func (e *AccessError) Error() string {
+	if e.Boundary {
+		return fmt.Sprintf("core: word access at %d+%d crosses a page boundary", e.Addr, e.Len)
 	}
-	return uint32(addr / uint64(d.cfg.Geometry.PageSize))
+	return fmt.Sprintf("core: access at %d+%d beyond device size %d", e.Addr, e.Len, e.Size)
+}
+
+func (d *Device) checkAddr(addr uint64, n int) (uint32, error) {
+	if addr > uint64(d.Size()) || uint64(n) > uint64(d.Size())-addr {
+		return 0, &AccessError{Addr: addr, Len: n, Size: d.Size()}
+	}
+	return uint32(addr / uint64(d.cfg.Geometry.PageSize)), nil
 }
 
 // AdvanceTo idles the host until t, letting background work (flushes,
@@ -323,53 +381,120 @@ func (d *Device) translate(page uint32) sim.Duration {
 
 // ReadWord reads the 32-bit word at the given byte address (which must
 // be 4-byte aligned) and returns it with the host-observed latency.
+// Out-of-range accesses panic; use ReadWordErr on untrusted addresses.
 func (d *Device) ReadWord(addr uint64) (uint32, sim.Duration) {
+	v, lat, err := d.ReadWordErr(addr)
+	if err != nil {
+		panic(err)
+	}
+	return v, lat
+}
+
+// ReadWordErr is ReadWord with the address validated up front: an
+// out-of-range or page-straddling access returns an *AccessError
+// instead of panicking, with no time charged and no state changed.
+func (d *Device) ReadWordErr(addr uint64) (uint32, sim.Duration, error) {
 	var buf [4]byte
-	lat := d.read(addr, buf[:])
-	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, lat
+	lat, err := d.read(addr, buf[:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, lat, nil
 }
 
 // WriteWord writes a 32-bit word at the given byte address and returns
-// the host-observed latency.
+// the host-observed latency. Out-of-range accesses panic; use
+// WriteWordErr on untrusted addresses.
 func (d *Device) WriteWord(addr uint64, v uint32) sim.Duration {
+	lat, err := d.WriteWordErr(addr, v)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// WriteWordErr is WriteWord with the address validated up front,
+// returning an *AccessError instead of panicking.
+func (d *Device) WriteWordErr(addr uint64, v uint32) (sim.Duration, error) {
 	return d.write(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
 }
 
 // Read copies len(p) bytes starting at addr into p, issuing one host
 // access per 32-bit word (the paper's word-sized interface, §1), and
-// returns the total latency. Accesses may span pages.
+// returns the total latency. Accesses may span pages. Out-of-range
+// accesses panic; use ReadErr on untrusted addresses.
 func (d *Device) Read(p []byte, addr uint64) sim.Duration {
+	lat, err := d.ReadErr(p, addr)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// ReadErr is Read with the address range validated up front: an
+// out-of-range access returns an *AccessError instead of panicking,
+// with no time charged and no state changed.
+func (d *Device) ReadErr(p []byte, addr uint64) (sim.Duration, error) {
+	if _, err := d.checkAddr(addr, len(p)); err != nil {
+		return 0, err
+	}
 	var total sim.Duration
 	for off := 0; off < len(p); off += 4 {
 		end := off + 4
 		if end > len(p) {
 			end = len(p)
 		}
-		total += d.read(addr+uint64(off), p[off:end])
+		lat, err := d.read(addr+uint64(off), p[off:end])
+		total += lat
+		if err != nil {
+			return total, err
+		}
 	}
-	return total
+	return total, nil
 }
 
 // Write stores p starting at addr, one 32-bit word per host access,
-// and returns the total latency.
+// and returns the total latency. Out-of-range accesses panic; use
+// WriteErr on untrusted addresses.
 func (d *Device) Write(p []byte, addr uint64) sim.Duration {
+	lat, err := d.WriteErr(p, addr)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// WriteErr is Write with the address range validated up front,
+// returning an *AccessError instead of panicking.
+func (d *Device) WriteErr(p []byte, addr uint64) (sim.Duration, error) {
+	if _, err := d.checkAddr(addr, len(p)); err != nil {
+		return 0, err
+	}
 	var total sim.Duration
 	for off := 0; off < len(p); off += 4 {
 		end := off + 4
 		if end > len(p) {
 			end = len(p)
 		}
-		total += d.write(addr+uint64(off), p[off:end])
+		lat, err := d.write(addr+uint64(off), p[off:end])
+		total += lat
+		if err != nil {
+			return total, err
+		}
 	}
-	return total
+	return total, nil
 }
 
 // read performs one host read access of up to 4 bytes within one page.
-func (d *Device) read(addr uint64, p []byte) sim.Duration {
-	page := d.checkAddr(addr, len(p))
+// The address is validated before any time is charged.
+func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
+	page, err := d.checkAddr(addr, len(p))
+	if err != nil {
+		return 0, err
+	}
 	off := int(addr % uint64(d.cfg.Geometry.PageSize))
 	if off+len(p) > d.cfg.Geometry.PageSize {
-		panic(fmt.Sprintf("core: word access at %d crosses a page boundary", addr))
+		return 0, &AccessError{Addr: addr, Len: len(p), Size: d.Size(), Boundary: true}
 	}
 	lat := d.translate(page)
 	loc, mapped := d.table.Lookup(page)
@@ -402,18 +527,21 @@ func (d *Device) read(addr uint64, p []byte) sim.Duration {
 	d.counters.HostReads++
 	d.completeAccess(lat, stats.Reading)
 	d.readLat.Record(lat)
-	return lat
+	return lat, nil
 }
 
 // write performs one host write access of up to 4 bytes within a page,
 // executing a copy-on-write (§3.1, Figure 3) if the page is not yet
 // buffered. If the buffer is full the host blocks until a flush frees
 // a frame — the condition behind Figure 15's write-latency jump.
-func (d *Device) write(addr uint64, p []byte) sim.Duration {
-	page := d.checkAddr(addr, len(p))
+func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
+	page, err := d.checkAddr(addr, len(p))
+	if err != nil {
+		return 0, err
+	}
 	off := int(addr % uint64(d.cfg.Geometry.PageSize))
 	if off+len(p) > d.cfg.Geometry.PageSize {
-		panic(fmt.Sprintf("core: word access at %d crosses a page boundary", addr))
+		return 0, &AccessError{Addr: addr, Len: len(p), Size: d.Size(), Boundary: true}
 	}
 	start := d.now
 	d.completeAccess(d.translate(page), stats.Writing)
@@ -444,7 +572,7 @@ func (d *Device) write(addr uint64, p []byte) sim.Duration {
 	d.maybeScheduleFlush()
 	lat := d.now.Sub(start)
 	d.writeLat.Record(lat)
-	return lat
+	return lat, nil
 }
 
 // copyOnWrite moves a page's current contents into a fresh SRAM frame

@@ -182,6 +182,8 @@ func (c *Chip) WriteCommand(now sim.Time, addr int, value byte) error {
 			return nil
 		}
 		return fmt.Errorf("flash: operation suspended; resume first")
+	case modeReadArray, modeStatus:
+		// Idle modes: the write is a fresh command, dispatched below.
 	}
 	switch Command(value) {
 	case CmdReadArray:

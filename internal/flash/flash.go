@@ -166,6 +166,12 @@ type Array struct {
 	dataless bool
 	segs     []segment
 	programs int64 // total page program operations, across all segments
+
+	// erases is the array-wide erase tally, maintained independently of
+	// the per-segment counters so that the invariant checker can
+	// cross-check the wear accounting (the two are updated at the same
+	// site today, but the checker guards every future refactor).
+	erases int64
 }
 
 // Option configures an Array.
@@ -324,6 +330,7 @@ func (a *Array) Erase(seg int) {
 	s.free = a.geo.PagesPerSegment
 	s.invalid = 0
 	s.erases++
+	a.erases++
 	// Payload memory is kept allocated; contents of erased Flash are
 	// all-ones on real chips, but nothing may read a Free page.
 }
@@ -360,14 +367,10 @@ func (a *Array) LivePages(seg int, fn func(page int, logical uint32)) {
 	}
 }
 
-// TotalErases returns the sum of erase cycles across all segments.
-func (a *Array) TotalErases() int64 {
-	var t int64
-	for i := range a.segs {
-		t += a.segs[i].erases
-	}
-	return t
-}
+// TotalErases returns the erase operations performed on the array,
+// tracked independently of the per-segment cycle counters (which must
+// sum to the same value — an invariant checked by internal/invariant).
+func (a *Array) TotalErases() int64 { return a.erases }
 
 // WearSpread returns the minimum and maximum per-segment erase counts,
 // whose difference the wear leveler keeps bounded (§4.3: swap when the

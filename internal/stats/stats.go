@@ -154,8 +154,10 @@ func (a Activity) String() string {
 		return "cleaning"
 	case Erasing:
 		return "erasing"
+	default:
+		// Covers numActivities and any out-of-range value.
+		return fmt.Sprintf("Activity(%d)", int(a))
 	}
-	return fmt.Sprintf("Activity(%d)", int(a))
 }
 
 // Breakdown accumulates time spent per controller activity.
