@@ -1,0 +1,148 @@
+package envy_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"envy"
+)
+
+// Table-driven boundary tests for the validated access methods: every
+// edge of the address space (first word, last word, one-past-the-end,
+// zero-length ranges, overflow-prone huge addresses, page-straddling
+// words) either succeeds or is rejected with an *AccessError — and a
+// rejection must charge no simulated time and leave no trace.
+
+func TestWordAccessBoundaries(t *testing.T) {
+	dev := newSmall(t)
+	size := uint64(dev.Size())
+	pageSize := uint64(envy.SmallConfig().PageSize)
+
+	cases := []struct {
+		name     string
+		addr     uint64
+		ok       bool
+		boundary bool // expected AccessError.Boundary on rejection
+	}{
+		{name: "first word", addr: 0, ok: true},
+		{name: "last word", addr: size - 4, ok: true},
+		{name: "at end", addr: size, ok: false},
+		{name: "straddling end", addr: size - 2, ok: false},
+		{name: "past end", addr: size + 4, ok: false},
+		{name: "huge", addr: 1 << 62, ok: false},
+		{name: "overflowing addr+len", addr: math.MaxUint64 - 3, ok: false},
+		{name: "unaligned in page", addr: 2, ok: true},
+		{name: "last aligned word of page", addr: pageSize - 4, ok: true},
+		{name: "straddling page boundary", addr: pageSize - 2, ok: false, boundary: true},
+		{name: "straddling interior page boundary", addr: 5*pageSize - 1, ok: false, boundary: true},
+	}
+	for _, tc := range cases {
+		t.Run("write/"+tc.name, func(t *testing.T) {
+			before := dev.Now()
+			lat, err := dev.WriteWordErr(tc.addr, 0x1234_5678)
+			checkBoundaryResult(t, dev, tc.ok, tc.boundary, err, before, lat != 0)
+		})
+		t.Run("read/"+tc.name, func(t *testing.T) {
+			before := dev.Now()
+			_, lat, err := dev.ReadWordErr(tc.addr)
+			checkBoundaryResult(t, dev, tc.ok, tc.boundary, err, before, lat != 0)
+		})
+	}
+}
+
+func TestRangeAccessBoundaries(t *testing.T) {
+	dev := newSmall(t)
+	size := uint64(dev.Size())
+
+	cases := []struct {
+		name string
+		addr uint64
+		n    int
+		ok   bool
+	}{
+		{name: "zero-length at start", addr: 0, n: 0, ok: true},
+		{name: "zero-length at end", addr: size, n: 0, ok: true},
+		{name: "zero-length past end", addr: size + 1, n: 0, ok: false},
+		{name: "zero-length huge", addr: math.MaxUint64, n: 0, ok: false},
+		{name: "whole device", addr: 0, n: int(size), ok: true},
+		{name: "last byte", addr: size - 1, n: 1, ok: true},
+		{name: "one past end", addr: size - 1, n: 2, ok: false},
+		{name: "from end", addr: size, n: 1, ok: false},
+		{name: "huge addr", addr: 1 << 62, n: 8, ok: false},
+		{name: "addr+len overflow", addr: math.MaxUint64 - 7, n: 16, ok: false},
+	}
+	for _, tc := range cases {
+		buf := make([]byte, tc.n)
+		t.Run("write/"+tc.name, func(t *testing.T) {
+			before := dev.Now()
+			lat, err := dev.WriteErr(buf, tc.addr)
+			checkBoundaryResult(t, dev, tc.ok, false, err, before, lat != 0 && tc.n > 0)
+		})
+		t.Run("read/"+tc.name, func(t *testing.T) {
+			before := dev.Now()
+			lat, err := dev.ReadErr(buf, tc.addr)
+			checkBoundaryResult(t, dev, tc.ok, false, err, before, lat != 0 && tc.n > 0)
+		})
+	}
+}
+
+// checkBoundaryResult asserts the success/rejection contract: accepted
+// accesses advance the clock and return no error; rejected ones return
+// an *AccessError (with the right Boundary flag), charge zero latency,
+// and leave the clock untouched.
+func checkBoundaryResult(t *testing.T, dev *envy.Device, ok, boundary bool, err error, before interface{ Nanoseconds() int64 }, charged bool) {
+	t.Helper()
+	if ok {
+		if err != nil {
+			t.Fatalf("access rejected: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Fatal("out-of-bounds access succeeded")
+	}
+	var ae *envy.AccessError
+	if !errors.As(err, &ae) {
+		t.Fatalf("rejection is %T (%v), want *AccessError", err, err)
+	}
+	if ae.Boundary != boundary {
+		t.Fatalf("AccessError.Boundary = %v, want %v (%v)", ae.Boundary, boundary, err)
+	}
+	if charged {
+		t.Fatal("rejected access charged nonzero latency")
+	}
+	if now := dev.Now(); now.Nanoseconds() != before.Nanoseconds() {
+		t.Fatalf("rejected access moved the clock from %v to %v", before, now)
+	}
+}
+
+// TestRejectedAccessLeavesNoTrace pins the "no state changed" half of
+// the contract: after a rejected write overlapping valid data, the
+// data still reads back intact and the device still accepts traffic.
+func TestRejectedAccessLeavesNoTrace(t *testing.T) {
+	dev := newSmall(t)
+	size := uint64(dev.Size())
+	if _, err := dev.WriteWordErr(size-4, 0xcafe_f00d); err != nil {
+		t.Fatal(err)
+	}
+	// A range write that starts in bounds but runs off the end must be
+	// rejected as a whole: no prefix may be applied.
+	junk := make([]byte, 64)
+	for i := range junk {
+		junk[i] = 0xee
+	}
+	if _, err := dev.WriteErr(junk, size-8); err == nil {
+		t.Fatal("write running off the device end succeeded")
+	}
+	v, _, err := dev.ReadWordErr(size - 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xcafe_f00d {
+		t.Fatalf("rejected write mutated data: read %#x", v)
+	}
+	if v, _, err := dev.ReadWordErr(size - 8); err != nil || v != 0 {
+		t.Fatalf("rejected write left a prefix: read %#x, err %v", v, err)
+	}
+}

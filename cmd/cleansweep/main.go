@@ -101,7 +101,7 @@ func main() {
 	if cfg.Kind == cleaner.Hybrid {
 		fmt.Printf(" (%d segments/partition, %d partitions)", cfg.PartitionSegments, h.Engine().Partitions())
 	}
-	fmt.Printf(", workload %s\n\n", gen)
+	fmt.Printf(", workload %s, seed %d\n\n", gen, *seed)
 	fmt.Printf("cleaning cost:   %.3f cleaner programs per flushed page\n", cost)
 	fmt.Printf("flushes:         %d\n", c.Flushes)
 	fmt.Printf("segment cleans:  %d (%.1f flushes per clean)\n", c.SegmentCleans,

@@ -76,8 +76,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("device: %d MB flash, %d segments, %s cleaning, buffer %d pages\n",
-		cfg.Geometry.Capacity()>>20, cfg.Geometry.Segments, *policy, dev.Config().BufferPages)
+	fmt.Printf("device: %d MB flash, %d segments, %s cleaning, buffer %d pages (seed %d)\n",
+		cfg.Geometry.Capacity()>>20, cfg.Geometry.Segments, *policy, dev.Config().BufferPages, *seed)
 
 	bank, err := tpca.Setup(dev, tcfg)
 	if err != nil {

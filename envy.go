@@ -6,10 +6,27 @@ import (
 
 	"envy/internal/cleaner"
 	"envy/internal/core"
+	"envy/internal/fault"
 	"envy/internal/flash"
+	"envy/internal/recovery"
 	"envy/internal/sim"
 	"envy/internal/stats"
 )
+
+// ErrPowerFailure identifies a simulated power failure:
+// errors.Is(err, ErrPowerFailure) is true for the error returned by the
+// operation a crash interrupted, whichever crash point fired.
+var ErrPowerFailure = fault.ErrPowerFailure
+
+// ErrCrashed is returned by operations attempted between a power
+// failure and the Recover call that repairs the device.
+var ErrCrashed = core.ErrCrashed
+
+// AccessError is the rejection returned by the *Err access methods for
+// an address or range the device cannot serve — out of range, or a
+// word access straddling a page boundary. A rejected access charges no
+// simulated time and changes no state.
+type AccessError = core.AccessError
 
 // Policy selects the Flash cleaning policy (§4 of the paper).
 type Policy int
@@ -72,6 +89,49 @@ type Config struct {
 	// Dataless drops page payload storage for timing-only studies;
 	// reads return zeros.
 	Dataless bool
+
+	// FaultPlan, if non-nil, arms a crash-point injector at
+	// construction (equivalent to ArmFault after New): the device
+	// suffers a simulated power failure at the planned point and stays
+	// down until Recover.
+	FaultPlan *FaultPlan
+}
+
+// FaultPlan describes when a simulated power failure strikes. The zero
+// plan never fires; if several triggers are set, whichever is reached
+// first wins. Counts are 1-based: Program=1 crashes the very next
+// Flash page program.
+type FaultPlan struct {
+	// Program, Erase, and Retarget crash at the Nth Flash page
+	// program, the Nth segment erase, or the Nth copy-on-write
+	// retarget window (the §3.1 instant between page-table update and
+	// old-copy invalidation).
+	Program  int64
+	Erase    int64
+	Retarget int64
+
+	// At crashes at the first crash point reached once the simulated
+	// clock passes this time.
+	At time.Duration
+
+	// Probability fires each crash point independently with this
+	// probability (seeded by Seed).
+	Probability float64
+
+	// Seed makes the injected crash reproducible: it drives the
+	// probabilistic trigger and the shape of torn page contents.
+	Seed uint64
+}
+
+func (p FaultPlan) plan() fault.Plan {
+	return fault.Plan{
+		Program:     p.Program,
+		Erase:       p.Erase,
+		Retarget:    p.Retarget,
+		At:          sim.Duration(p.At),
+		Probability: p.Probability,
+		Seed:        p.Seed,
+	}
 }
 
 // PaperConfig returns the configuration simulated in the paper
@@ -117,7 +177,7 @@ func (c Config) coreConfig() core.Config {
 	if c.Policy == GreedyPolicy {
 		kind = cleaner.Greedy
 	}
-	return core.Config{
+	cc := core.Config{
 		Geometry: flash.Geometry{
 			PageSize:        c.PageSize,
 			PagesPerSegment: c.PagesPerSegment,
@@ -135,6 +195,11 @@ func (c Config) coreConfig() core.Config {
 		ParallelFlush:     c.ParallelFlush,
 		Dataless:          c.Dataless,
 	}
+	if c.FaultPlan != nil {
+		p := c.FaultPlan.plan()
+		cc.FaultPlan = &p
+	}
+	return cc
 }
 
 // Device is a simulated eNVy storage system: a flat, persistent,
@@ -230,10 +295,82 @@ func (dev *Device) Preload(data []byte, addr uint64) error {
 	return dev.d.Preload(data, addr)
 }
 
-// PowerCycle simulates a power failure and recovery: all data and
-// mapping state survive (Flash + battery-backed SRAM); the volatile
-// translation cache is lost.
+// PowerCycle simulates a *clean* power failure and recovery: no
+// operation is in flight, all data and mapping state survive (Flash +
+// battery-backed SRAM), and only the volatile translation cache is
+// lost. To model a failure that interrupts work mid-operation, use
+// ArmFault or CrashPowerCycle followed by Recover.
 func (dev *Device) PowerCycle() { dev.d.PowerCycle() }
+
+// ArmFault installs a one-shot crash-point injector executing plan,
+// replacing any previous one. When a planned point is reached, the
+// device suffers a power failure exactly there — a partially
+// programmed page, a half-erased segment, or an un-invalidated old
+// copy — and every operation fails with ErrCrashed until Recover.
+func (dev *Device) ArmFault(plan FaultPlan) { dev.d.ArmFault(plan.plan()) }
+
+// DisarmFault removes the armed fault plan, if any.
+func (dev *Device) DisarmFault() { dev.d.DisarmFault() }
+
+// Crashed reports whether the device is down after a simulated power
+// failure and needs Recover.
+func (dev *Device) Crashed() bool { return dev.d.Crashed() }
+
+// CrashPowerCycle forces a power failure right now, regardless of any
+// armed plan — the external switch-flip. Anything in flight (an
+// in-flight flush program, queued background work) is interrupted the
+// way a real power loss would leave it.
+func (dev *Device) CrashPowerCycle() { dev.d.CrashPowerCycle() }
+
+// RecoveryReport summarizes what a Recover call found and repaired.
+type RecoveryReport struct {
+	// FlushesDiscarded in-flight flush programs were discarded (the
+	// buffered SRAM copy remains current); StrayFlushes frames were
+	// reset whose flush had not chosen a target yet.
+	FlushesDiscarded int
+	StrayFlushes     int
+
+	// HalfErased segments had their interrupted erase run again.
+	HalfErased int
+
+	// CleanFinished / WearSwapFinished report an interrupted segment
+	// clean or wear swap that recovery ran to completion.
+	CleanFinished    bool
+	WearSwapFinished bool
+
+	// TornQuarantined partially programmed pages were retired;
+	// Orphans un-invalidated old copies were reclaimed.
+	TornQuarantined int
+	Orphans         int
+
+	// MountWearSwaps wear-leveling swaps ran at mount to bring the
+	// wear spread back within bound.
+	MountWearSwaps int
+
+	// RolledBackPages of an open transaction were restored to their
+	// pre-transaction contents.
+	RolledBackPages int
+}
+
+// Recover mounts a crashed device: every crash artifact is repaired
+// from battery-backed state plus a Flash scan, an open transaction is
+// rolled back, and the full invariant suite must pass before the
+// device returns to service. Every write acknowledged before the
+// crash is durable; no torn or uncommitted data is readable after.
+func (dev *Device) Recover() (RecoveryReport, error) {
+	r, err := recovery.Recover(dev.d)
+	return RecoveryReport{
+		FlushesDiscarded: r.FlushesDiscarded,
+		StrayFlushes:     r.StrayFlushes,
+		HalfErased:       r.HalfErased,
+		CleanFinished:    r.CleanFinished,
+		WearSwapFinished: r.WearSwapFinished,
+		TornQuarantined:  r.TornQuarantined,
+		Orphans:          r.Orphans,
+		MountWearSwaps:   r.MountWearSwaps,
+		RolledBackPages:  r.RolledBackPages,
+	}, err
+}
 
 // Begin opens a hardware atomic transaction (§6). Writes until Commit
 // or Rollback keep their pre-transaction versions as shadow copies.

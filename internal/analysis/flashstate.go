@@ -25,13 +25,16 @@ var Flashstate = &Analyzer{
 }
 
 // stateOwners are the packages allowed to mutate guarded state: the
-// two stores themselves plus the controller and the cleaner, which
-// together implement every legal transition.
+// two stores themselves plus the controller, the cleaner, and the
+// mount-time recovery path, which together implement every legal
+// transition (recovery's repairs are transitions too: discarding torn
+// flush targets, sweeping orphans, finishing interrupted cleans).
 var stateOwners = map[string]bool{
 	"envy/internal/flash":     true,
 	"envy/internal/pagetable": true,
 	"envy/internal/core":      true,
 	"envy/internal/cleaner":   true,
+	"envy/internal/recovery":  true,
 }
 
 // guardedMethods maps a receiver type (package path dot type name) to

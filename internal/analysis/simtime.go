@@ -33,6 +33,8 @@ var simPackages = map[string]bool{
 	"envy/internal/experiments": true,
 	"envy/internal/tpca":        true,
 	"envy/internal/workload":    true,
+	"envy/internal/fault":       true,
+	"envy/internal/recovery":    true,
 }
 
 // wallClock lists the time-package functions that read or wait on the

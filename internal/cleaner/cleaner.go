@@ -125,6 +125,56 @@ type Step struct {
 	Pages int // number of page programs for StepCopy; 0 for StepErase
 }
 
+// IntentKind identifies which multi-step cleaner operation an Intent
+// records.
+type IntentKind int
+
+// Cleaner intent kinds.
+const (
+	IntentNone IntentKind = iota
+	IntentClean
+	IntentWearSwap
+)
+
+func (k IntentKind) String() string {
+	switch k {
+	case IntentNone:
+		return "none"
+	case IntentClean:
+		return "clean"
+	case IntentWearSwap:
+		return "wear-swap"
+	}
+	return fmt.Sprintf("IntentKind(%d)", int(k))
+}
+
+// Intent is the cleaner's battery-backed operation record (§3.4: the
+// cleaning state survives power failure). It is written before the
+// first Flash mutation of a segment clean or wear swap and cleared
+// after the last, so after a crash it names exactly the multi-step
+// operation that was in flight; recovery replays the remainder from
+// the Flash state (which page copies completed is evident from the
+// segments themselves). Between the two writes there is no crash
+// point, so an intent is present if and only if the operation is
+// unfinished.
+type Intent struct {
+	Kind IntentKind
+
+	// Src is the segment being emptied (the clean victim, or the
+	// relocation source of the current wear-swap phase); Dst is the
+	// erased segment receiving its live cluster.
+	Src, Dst int
+
+	// Home is the victim's partition for an IntentClean under the
+	// Hybrid policy; unused under Greedy.
+	Home int
+
+	// Wear-swap bookkeeping: phase 1 relocates Old into the spare,
+	// phase 2 relocates Young into Old's place.
+	Phase      int
+	Old, Young int
+}
+
 // partition is the locality-gathering unit: an ordered FIFO of member
 // segments (index 0 = oldest, last = active) plus a decayed write-rate
 // estimate.
@@ -160,6 +210,10 @@ type Engine struct {
 
 	// Greedy state.
 	active int // segment accepting flushes
+
+	// intent is the battery-backed record of the multi-step operation
+	// in flight (IntentNone between operations).
+	intent Intent
 
 	work []Step // scratch accumulator for the current operation
 }
@@ -308,6 +362,20 @@ func (e *Engine) Flush(logical uint32, home int, payload []byte) (ppn uint32, wo
 		seg = e.flushTargetGreedy()
 	} else {
 		seg = e.flushTargetHybrid(home)
+	}
+	// Each clean inside the target choice rotates the old spare into
+	// service; if such a segment's historical wear puts it straight
+	// over the spread bound, level again now, before this flush returns
+	// and the bound becomes observable. One pass per clean (the hybrid
+	// FIFO sweep can clean several segments, each funding one swap).
+	// A swap transfers segment roles, so the target is recomputed
+	// (free space exists, so the recompute cannot clean again).
+	for e.maybeLevelWear() {
+		if e.cfg.Kind == Greedy {
+			seg = e.flushTargetGreedy()
+		} else {
+			seg = e.flushTargetHybrid(home)
+		}
 	}
 	page := e.nextFree(seg)
 	ppn = e.arr.Geometry().PPN(seg, page)
@@ -484,6 +552,7 @@ func (e *Engine) cleanSegment(victim int) (dest int) {
 	if e.freePages(dest) != geo.PagesPerSegment {
 		panic(fmt.Sprintf("cleaner: spare segment %d is not erased", dest))
 	}
+	e.intent = Intent{Kind: IntentClean, Src: victim, Dst: dest, Home: e.partOf[victim]}
 	moved := 0
 	e.arr.LivePages(victim, func(page int, logical uint32) {
 		oldPPN := geo.PPN(victim, page)
@@ -503,5 +572,6 @@ func (e *Engine) cleanSegment(victim int) (dest int) {
 	e.work = append(e.work, Step{Kind: StepErase, Seg: victim})
 	e.spare = victim
 	e.partOf[victim] = -1
+	e.intent = Intent{}
 	return dest
 }

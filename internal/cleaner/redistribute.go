@@ -210,17 +210,30 @@ func (e *Engine) movePages(src, dstPart, n int, fromTail bool) int {
 // least-cycled, swap their contents. The swap is realized as a rotate
 // through the spare segment: young's data moves to the spare, old's
 // data moves to young's place, and the old segment becomes the spare.
-func (e *Engine) maybeLevelWear() {
+func (e *Engine) maybeLevelWear() bool {
 	if e.cfg.WearThreshold <= 0 {
-		return
+		return false
 	}
-	// At most one swap per regular (clean-driven) erase. The swap
-	// itself erases two segments; without this limiter those erases
-	// keep the spread condition true and the leveler feeds on its own
-	// wear, rotating data endlessly.
+	// At most one swap per regular (clean-driven) erase: each swap
+	// consumes one clean-funded credit (lastWearCleans trails
+	// SegmentCleans by the unspent credits). The swap itself erases two
+	// segments, but those erases do not count as cleans and so fund no
+	// further swaps — without that distinction the leveler would feed
+	// on its own wear, rotating data endlessly. Credits matter when one
+	// flush cleans several segments (the hybrid FIFO pass): each clean
+	// can rotate a worn segment into service, and each needs its own
+	// swap to restore the spread bound before the flush returns.
 	if e.counters.SegmentCleans == e.lastWearCleans {
-		return
+		return false
 	}
+	return e.levelWearOnce()
+}
+
+// levelWearOnce performs one wear swap if the spread condition calls
+// for it, reporting whether it swapped. Callers own the pacing:
+// maybeLevelWear rations it to one swap per clean, LevelWearAtMount
+// loops it until the spread bound holds.
+func (e *Engine) levelWearOnce() bool {
 	geo := e.arr.Geometry()
 	// The "old" candidate is the most-cycled segment that has seen
 	// regular wear since it was last swapped: a segment retired to
@@ -241,11 +254,15 @@ func (e *Engine) maybeLevelWear() {
 		}
 	}
 	if oldSeg == -1 || oldSeg == youngSeg || oldN-youngN <= e.cfg.WearThreshold {
-		return
+		return false
 	}
 	spare := e.spare
+	e.intent = Intent{Kind: IntentWearSwap, Phase: 1, Old: oldSeg, Young: youngSeg, Src: oldSeg, Dst: spare}
 	// Old's (hot, heavily cycled) data and role -> the spare segment.
 	e.relocate(oldSeg, spare)
+	e.intent.Phase = 2
+	e.intent.Src = youngSeg
+	e.intent.Dst = oldSeg
 	// Young's (cold, rarely cycled) data and role -> the old segment,
 	// which from now on holds cold data and rests.
 	e.relocate(youngSeg, oldSeg)
@@ -256,8 +273,40 @@ func (e *Engine) maybeLevelWear() {
 	e.spare = youngSeg
 	e.partOf[youngSeg] = -1
 	e.counters.WearSwaps++
-	e.lastWearCleans = e.counters.SegmentCleans
+	e.lastWearCleans++ // consume one clean-funded credit
 	e.wearMark[oldSeg] = e.arr.EraseCount(oldSeg)
+	e.intent = Intent{}
+	return true
+}
+
+// LevelWearAtMount re-establishes the wear-spread bound after crash
+// recovery. The bound's headroom assumes one leveling opportunity per
+// completed clean; crash/recover cycles break that pacing (recovery's
+// re-erases add wear, and a run of interrupted cleans can skip several
+// opportunities), so the mount path swaps until the spread is back
+// within the threshold. It returns the number of swaps performed.
+// Termination: every swap retires its over-worn segment at a fresh
+// wear mark, and the iteration cap backstops pathological re-engagement.
+//
+// Call only with the array free of orphans and torn pages (after the
+// recovery sweeps): relocation remaps every live page it moves, which
+// must be unambiguous. Fault injection must be disarmed.
+func (e *Engine) LevelWearAtMount() int {
+	if e.cfg.WearThreshold <= 0 {
+		return 0
+	}
+	swaps := 0
+	for i := 0; i < 2*e.arr.Geometry().Segments; i++ {
+		if !e.levelWearOnce() {
+			break
+		}
+		swaps++
+	}
+	// Mount swaps are not clean-funded; reset the credit ledger so the
+	// swaps above neither borrow from nor owe to normal-operation pacing.
+	e.lastWearCleans = e.counters.SegmentCleans
+	e.work = e.work[:0]
+	return swaps
 }
 
 // relocate copies every live page of src into the erased segment dst,

@@ -141,6 +141,12 @@ func (d *Device) runBackground(until sim.Time) {
 		b.cursor = d.now
 	}
 	for b.cursor < until {
+		if d.inj != nil {
+			// Time-triggered fault plans watch the background cursor
+			// too: an idle device reaches Plan.At here, so the next
+			// flash operation (e.g. an expanded flush) crashes.
+			d.inj.Tick(b.cursor)
+		}
 		if len(b.steps) == 0 {
 			if b.pending > 0 {
 				if d.expandFlush() {

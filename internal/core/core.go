@@ -23,15 +23,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"envy/internal/cleaner"
+	"envy/internal/fault"
 	"envy/internal/flash"
 	"envy/internal/pagetable"
 	"envy/internal/sim"
 	"envy/internal/sram"
 	"envy/internal/stats"
 )
+
+// ErrCrashed is returned by host operations attempted after a power
+// failure and before recovery: a crashed device holds its torn state
+// until a mount-time recovery pass (internal/recovery) repairs it.
+var ErrCrashed = errors.New("core: device crashed; recovery required")
 
 // Config assembles a Device. The zero value of each field selects the
 // paper's parameter (Figure 12) scaled to the chosen geometry.
@@ -87,6 +94,12 @@ type Config struct {
 
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
+
+	// FaultPlan, if non-nil, arms a one-shot crash-point injector at
+	// construction: the device suffers a simulated power failure at the
+	// planned point and latches crashed until recovered
+	// (internal/recovery). Equivalent to calling ArmFault after New.
+	FaultPlan *fault.Plan
 }
 
 func (c *Config) setDefaults() error {
@@ -183,6 +196,11 @@ type Device struct {
 	// the open transaction (§6).
 	shadows map[uint32]*shadow
 	inTxn   bool
+
+	// inj is the armed crash-point injector, if any; crashed latches
+	// after a simulated power failure until recovery clears it.
+	inj     *fault.Injector
+	crashed bool
 }
 
 // New builds a Device from cfg (missing fields defaulted per Fig. 12).
@@ -211,7 +229,87 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FaultPlan != nil {
+		d.ArmFault(*cfg.FaultPlan)
+	}
 	return d, nil
+}
+
+// ArmFault installs a one-shot crash-point injector executing plan.
+// Arming replaces any previous injector, including a spent one; it does
+// not clear a latched crash.
+func (d *Device) ArmFault(plan fault.Plan) {
+	d.inj = fault.NewInjector(plan)
+	d.inj.Tick(d.now)
+	d.arr.SetInjector(d.inj)
+}
+
+// DisarmFault removes the injector; no further crashes fire.
+func (d *Device) DisarmFault() {
+	d.inj = nil
+	d.arr.SetInjector(nil)
+}
+
+// Crashed reports whether the device is down after a simulated power
+// failure. Every host operation fails with ErrCrashed until recovery.
+func (d *Device) Crashed() bool { return d.crashed }
+
+// catchCrash converts a *fault.Crash panic unwinding through a public
+// entry point into the latched crashed state; errp, when non-nil,
+// receives the crash as the operation's error.
+func (d *Device) catchCrash(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	c, ok := r.(*fault.Crash)
+	if !ok {
+		// Not a crash: a genuine programming-error trap from a lower
+		// layer. Re-panic, keeping its origin.
+		if err, isErr := r.(error); isErr {
+			panic(err)
+		}
+		panic(fmt.Errorf("core: unexpected panic: %v", r))
+	}
+	d.latchCrash()
+	if errp != nil {
+		*errp = c
+	}
+}
+
+// latchCrash is the instant the power actually dies. Battery-backed
+// state (SRAM buffer, page table, cleaner intent) keeps whatever it
+// held; everything in flight stops:
+//
+//   - queued background steps vanish — their flash mutations already
+//     happened eagerly, except the in-flight flush programs, whose
+//     reservation targets are torn to the partially-programmed state
+//     the chips physically hold;
+//   - the volatile MMU translation cache is lost;
+//   - the clock stops where the failure happened.
+func (d *Device) latchCrash() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	for _, ppn := range d.flushPPN {
+		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
+	}
+	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
+	d.bg.steps = nil
+	d.bg.pending = 0
+	if d.bg.cursor > d.now {
+		d.now = d.bg.cursor
+	}
+	d.bg.cursor = d.now
+}
+
+// CrashPowerCycle forces a power failure right now, independent of any
+// armed fault plan — the external switch-flip. In-flight flush
+// programs are torn exactly as a mid-program injection would leave
+// them. A no-op if the device is already crashed.
+func (d *Device) CrashPowerCycle() {
+	d.latchCrash()
 }
 
 // remap is the cleaner's callback: the live Flash copy of logical at
@@ -359,11 +457,14 @@ func (d *Device) checkAddr(addr uint64, n int) (uint32, error) {
 }
 
 // AdvanceTo idles the host until t, letting background work (flushes,
-// cleaning, erases) progress. It is a no-op if t is in the past.
+// cleaning, erases) progress. It is a no-op if t is in the past or the
+// device is crashed; a power failure during background work latches
+// silently (check Crashed).
 func (d *Device) AdvanceTo(t sim.Time) {
-	if t <= d.now {
+	if d.crashed || t <= d.now {
 		return
 	}
+	defer d.catchCrash(nil)
 	d.runBackground(t)
 	d.now = t
 }
@@ -414,8 +515,11 @@ func (d *Device) WriteWord(addr uint64, v uint32) sim.Duration {
 }
 
 // WriteWordErr is WriteWord with the address validated up front,
-// returning an *AccessError instead of panicking.
-func (d *Device) WriteWordErr(addr uint64, v uint32) (sim.Duration, error) {
+// returning an *AccessError instead of panicking. Under fault
+// injection a *fault.Crash return means the power failed mid-write:
+// the write is not acknowledged and the device is down until recovery.
+func (d *Device) WriteWordErr(addr uint64, v uint32) (lat sim.Duration, err error) {
+	defer d.catchCrash(&err)
 	return d.write(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
 }
 
@@ -465,12 +569,15 @@ func (d *Device) Write(p []byte, addr uint64) sim.Duration {
 }
 
 // WriteErr is Write with the address range validated up front,
-// returning an *AccessError instead of panicking.
-func (d *Device) WriteErr(p []byte, addr uint64) (sim.Duration, error) {
+// returning an *AccessError instead of panicking. A *fault.Crash
+// return means the power failed part-way: words written before the
+// failure are durable (they reached battery-backed SRAM), the rest
+// never happened.
+func (d *Device) WriteErr(p []byte, addr uint64) (total sim.Duration, err error) {
 	if _, err := d.checkAddr(addr, len(p)); err != nil {
 		return 0, err
 	}
-	var total sim.Duration
+	defer d.catchCrash(&err)
 	for off := 0; off < len(p); off += 4 {
 		end := off + 4
 		if end > len(p) {
@@ -488,6 +595,9 @@ func (d *Device) WriteErr(p []byte, addr uint64) (sim.Duration, error) {
 // read performs one host read access of up to 4 bytes within one page.
 // The address is validated before any time is charged.
 func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
+	if d.crashed {
+		return 0, ErrCrashed
+	}
 	page, err := d.checkAddr(addr, len(p))
 	if err != nil {
 		return 0, err
@@ -535,6 +645,9 @@ func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
 // buffered. If the buffer is full the host blocks until a flush frees
 // a frame — the condition behind Figure 15's write-latency jump.
 func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
+	if d.crashed {
+		return 0, ErrCrashed
+	}
 	page, err := d.checkAddr(addr, len(p))
 	if err != nil {
 		return 0, err
@@ -578,20 +691,30 @@ func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
 // copyOnWrite moves a page's current contents into a fresh SRAM frame
 // and atomically retargets the page table (§3.1). The old Flash copy
 // is invalidated — unless an open transaction needs it as a shadow.
+//
+// The order is the paper's: retarget first, invalidate second. Both
+// stores are battery-backed, so a power failure between them leaves a
+// consistent mapping plus one orphaned (Valid but unclaimed) Flash
+// page, which the recovery sweep reclaims. The opposite order would
+// open a window with no copy of the page reachable at all.
 func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 	loc, mapped := d.table.Lookup(page)
+	hasFlash := mapped && !loc.InSRAM
 	var payload []byte
-	home := d.eng.Home(page, mapped && !loc.InSRAM, loc.PPN)
+	home := d.eng.Home(page, hasFlash, loc.PPN)
 	invalidate := d.captureShadow(page, nil)
-	if mapped && !loc.InSRAM {
+	if hasFlash {
 		payload = d.arr.Page(loc.PPN)
-		if invalidate {
-			d.arr.Invalidate(loc.PPN)
-		}
 	}
 	frame := d.buf.Insert(page, home, payload)
 	d.table.MapSRAM(page)
 	d.mmu.Update(page)
+	if d.inj != nil && d.inj.AtRetarget() {
+		panic(&fault.Crash{Point: fault.PointRetarget, LPN: page})
+	}
+	if hasFlash && invalidate {
+		d.arr.Invalidate(loc.PPN)
+	}
 	d.counters.CopyOnWrites++
 	return frame
 }
@@ -606,4 +729,7 @@ func (d *Device) completeAccess(lat sim.Duration, act stats.Activity) {
 	d.now = d.now.Add(lat)
 	d.bg.suspend()
 	d.bg.cursor = d.now
+	if d.inj != nil {
+		d.inj.Tick(d.now)
+	}
 }

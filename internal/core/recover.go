@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"envy/internal/flash"
+	"envy/internal/sram"
+)
+
+// Controller-level repair primitives for the mount-time recovery path
+// (internal/recovery). Everything here reads only battery-backed state
+// — the SRAM buffer, the page table, the flush reservations, the
+// transaction shadows — plus the Flash array itself, which is exactly
+// what survives a power failure. The volatile MMU was rebuilt empty
+// when the crash latched.
+
+// RecoverFlushes resolves every in-flight flush reservation after a
+// crash. A reservation records where a buffered page's Flash copy was
+// being programmed; at the moment of the failure that program either
+// tore (the page is Torn) or — in eager-simulation terms — had
+// completed its mutation with only its timed step outstanding, in
+// which case CrashPowerCycle tore it too. The program is therefore
+// never silently "finished": the buffered SRAM frame is the page's
+// only full copy, the torn target is quarantined, and the frame goes
+// back to being an ordinary dirty frame awaiting a fresh flush.
+// Returns how many reservations were discarded this way.
+func (d *Device) RecoverFlushes() (discarded int, err error) {
+	if !d.crashed {
+		return 0, fmt.Errorf("core: RecoverFlushes on a device that is not crashed")
+	}
+	for lpn, ppn := range d.flushPPN {
+		frame := d.buf.Lookup(lpn)
+		if frame == nil {
+			return discarded, fmt.Errorf("core: flush reservation for page %d has no buffered frame", lpn)
+		}
+		delete(d.flushPPN, lpn)
+		switch st := d.arr.State(ppn); st {
+		case flash.Torn:
+			d.arr.Quarantine(ppn)
+		case flash.Valid:
+			// Cannot happen today (latchCrash tears every reservation),
+			// but a Valid stale copy is safe to drop the same way.
+			d.arr.Invalidate(ppn)
+		case flash.Invalid:
+			// Already quarantined by an earlier recovery step.
+		default:
+			return discarded, fmt.Errorf("core: flush reservation for page %d targets %v page %d", lpn, st, ppn)
+		}
+		frame.Flushing = false
+		frame.Dirtied = false
+		discarded++
+	}
+	return discarded, nil
+}
+
+// ClearStrayFlushing clears Flushing/Dirtied flags on frames that have
+// no reservation — the artifact of a crash after expandFlush marked
+// the frame but before the cleaner returned a target (the flush
+// program itself, or cleaning on its behalf, was the crash point).
+// Returns how many frames were repaired.
+func (d *Device) ClearStrayFlushing() int {
+	cleared := 0
+	d.buf.Frames(func(f *sram.Frame) {
+		if _, reserved := d.flushPPN[f.Logical]; f.Flushing && !reserved {
+			f.Flushing = false
+			f.Dirtied = false
+			cleared++
+		}
+	})
+	return cleared
+}
+
+// SweepOrphans invalidates live Flash pages that no battery-backed
+// record claims: the artifact of a power failure inside the §3.1
+// retarget window (the table already points at the new copy, the old
+// one was never invalidated). Claims are the page table, the flush
+// reservations, and the open transaction's Flash shadows. Returns how
+// many orphans were reclaimed.
+func (d *Device) SweepOrphans() int {
+	claimed := make(map[uint32]bool)
+	for lpn := 0; lpn < d.table.Len(); lpn++ {
+		if loc, ok := d.table.Lookup(uint32(lpn)); ok && !loc.InSRAM {
+			claimed[loc.PPN] = true
+		}
+	}
+	for _, ppn := range d.flushPPN {
+		claimed[ppn] = true
+	}
+	for _, sh := range d.shadows {
+		if sh.hasFlash {
+			claimed[sh.ppn] = true
+		}
+	}
+	geo := d.cfg.Geometry
+	var orphans []uint32
+	for seg := 0; seg < geo.Segments; seg++ {
+		d.arr.LivePages(seg, func(page int, logical uint32) {
+			if ppn := geo.PPN(seg, page); !claimed[ppn] {
+				orphans = append(orphans, ppn)
+			}
+		})
+	}
+	for _, ppn := range orphans {
+		d.arr.Invalidate(ppn)
+	}
+	return len(orphans)
+}
+
+// QuarantineTorn quarantines every Torn page outside half-erased
+// segments (those are repaired by re-erasing, not page by page).
+// Returns how many pages were quarantined.
+func (d *Device) QuarantineTorn() int {
+	geo := d.cfg.Geometry
+	n := 0
+	for seg := 0; seg < geo.Segments; seg++ {
+		if d.arr.HalfErased(seg) {
+			continue
+		}
+		for page := 0; page < geo.PagesPerSegment; page++ {
+			if ppn := geo.PPN(seg, page); d.arr.State(ppn) == flash.Torn {
+				d.arr.Quarantine(ppn)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ClearCrashed ends the crashed state once recovery has repaired the
+// structures; the injector that fired stays spent. The background
+// queue is empty and the clock holds where the power failed.
+func (d *Device) ClearCrashed() {
+	d.crashed = false
+}

@@ -29,6 +29,9 @@ type shadow struct {
 // BeginTransaction opens a transaction. Only one may be open at a
 // time; nesting returns an error.
 func (d *Device) BeginTransaction() error {
+	if d.crashed {
+		return ErrCrashed
+	}
 	if d.inTxn {
 		return fmt.Errorf("core: transaction already open")
 	}
@@ -81,6 +84,9 @@ func (d *Device) captureShadow(page uint32, frame *sram.Frame) (invalidateOld bo
 // invalidated (their space becomes reclaimable) and pre-images are
 // dropped.
 func (d *Device) Commit() error {
+	if d.crashed {
+		return ErrCrashed
+	}
 	if !d.inTxn {
 		return fmt.Errorf("core: no transaction open")
 	}
@@ -99,10 +105,19 @@ func (d *Device) Commit() error {
 // where one exists (the §6 "free shadow copy"), a pre-image restore
 // for pages that only lived in SRAM, and an unmap for pages the
 // transaction created.
-func (d *Device) Rollback() error {
+//
+// Rollback itself is crash-safe: shadows are deleted only after their
+// page is restored, pre-images live in battery-backed SRAM, and the
+// Flash-shadow flip has no crash point — so a power failure mid-rollback
+// leaves the remaining shadows intact for the recovery pass to finish.
+func (d *Device) Rollback() (err error) {
+	if d.crashed {
+		return ErrCrashed
+	}
 	if !d.inTxn {
 		return fmt.Errorf("core: no transaction open")
 	}
+	defer d.catchCrash(&err)
 	for lpn, sh := range d.shadows {
 		switch {
 		case sh.hasFlash:
@@ -161,6 +176,10 @@ func (d *Device) restorePreimage(lpn uint32, pre []byte) {
 	}
 	// The transactional version reached Flash: restore with a direct
 	// program (rollback of an already-flushed page costs one program).
+	// Invalidating the stale transactional copy first keeps the
+	// cleaner's free-space argument intact, and costs nothing on a
+	// crash: the pre-image is battery-backed, so recovery's retried
+	// rollback simply programs it again.
 	loc, ok := d.table.Lookup(lpn)
 	if ok && !loc.InSRAM {
 		d.arr.Invalidate(loc.PPN)
@@ -191,9 +210,16 @@ func (d *Device) cancelFlushCallback() {
 // Preload may not be used while a transaction is open or while pages
 // in the target range are buffered.
 func (d *Device) Preload(data []byte, addr uint64) error {
+	if d.crashed {
+		return ErrCrashed
+	}
 	if d.inTxn {
 		return fmt.Errorf("core: Preload during a transaction")
 	}
+	// Preload models a manufacturing/restore pass that happens before
+	// deployment: crash injection is suspended for its duration.
+	defer d.arr.SetInjector(d.inj)
+	d.arr.SetInjector(nil)
 	pageSize := d.cfg.Geometry.PageSize
 	if int64(addr)+int64(len(data)) > d.Size() {
 		return fmt.Errorf("core: Preload of %d bytes at %d exceeds device size %d", len(data), addr, d.Size())
@@ -248,6 +274,13 @@ func (d *Device) preloadPage(page uint32, off int, data []byte) error {
 // start measuring from that state instead of simulating minutes of
 // warm-up traffic.
 func (d *Device) Churn(n int, seed uint64) {
+	if d.crashed {
+		return
+	}
+	// Like Preload, Churn is an untimed administrative pass: crash
+	// injection is suspended for its duration.
+	defer d.arr.SetInjector(d.inj)
+	d.arr.SetInjector(nil)
 	rng := sim.NewRNG(seed)
 	pageSize := d.cfg.Geometry.PageSize
 	buf := make([]byte, pageSize)

@@ -22,6 +22,7 @@ package flash
 import (
 	"fmt"
 
+	"envy/internal/fault"
 	"envy/internal/sim"
 )
 
@@ -30,11 +31,15 @@ type PageState uint8
 
 // Page lifecycle: erased pages are Free, programming makes them Valid,
 // copy-on-write or cleaning makes stale copies Invalid, and only a
-// segment erase returns Invalid pages to Free.
+// segment erase returns Invalid pages to Free. A power failure during
+// a program leaves the page Torn: its contents are unreliable and the
+// recovery mount quarantines it to Invalid before normal operation
+// resumes.
 const (
 	Free PageState = iota
 	Valid
 	Invalid
+	Torn
 )
 
 func (s PageState) String() string {
@@ -45,6 +50,8 @@ func (s PageState) String() string {
 		return "valid"
 	case Invalid:
 		return "invalid"
+	case Torn:
+		return "torn"
 	}
 	return fmt.Sprintf("PageState(%d)", uint8(s))
 }
@@ -154,7 +161,13 @@ type segment struct {
 	free    int
 	live    int
 	invalid int
+	torn    int
 	erases  int64 // program/erase cycles this segment has consumed
+
+	// halfErased marks a segment whose erase was interrupted by a power
+	// failure: every page is Torn and the segment must be re-erased
+	// before use. Cleared by Erase.
+	halfErased bool
 }
 
 // Array is the Flash array. It is not safe for concurrent use; the
@@ -166,6 +179,12 @@ type Array struct {
 	dataless bool
 	segs     []segment
 	programs int64 // total page program operations, across all segments
+
+	// inj, when set, is consulted at every program and erase — the
+	// operations a power failure can physically interrupt. A firing
+	// injector leaves the torn state behind and panics with a
+	// *fault.Crash, which the controller catches at its entry points.
+	inj *fault.Injector
 
 	// erases is the array-wide erase tally, maintained independently of
 	// the per-segment counters so that the invariant checker can
@@ -283,6 +302,12 @@ func (a *Array) Program(ppn uint32, logical uint32, payload []byte) {
 	if s.state[page] != Free {
 		panic(fmt.Sprintf("flash: programming %s page %d (write-once violation)", s.state[page], ppn))
 	}
+	if a.inj != nil {
+		if tear, crash := a.inj.AtProgram(a.geo.PageSize); crash {
+			a.tearProgram(s, page, payload, tear)
+			panic(&fault.Crash{Point: fault.PointProgram, PPN: ppn})
+		}
+	}
 	s.state[page] = Valid
 	s.owner[page] = logical
 	s.free--
@@ -317,11 +342,17 @@ func (a *Array) Invalidate(ppn uint32) {
 // Erase bulk-erases a segment, returning every page to Free and
 // charging one program/erase cycle. Erasing a segment that still holds
 // Valid pages destroys live data and panics: the cleaner must copy
-// live pages out first.
+// live pages out first. Torn pages and a half-erased marking are wiped
+// along with everything else — re-erasing is exactly how recovery
+// repairs an interrupted erase.
 func (a *Array) Erase(seg int) {
 	s := &a.segs[seg]
 	if s.live != 0 {
 		panic(fmt.Sprintf("flash: erasing segment %d with %d live pages", seg, s.live))
+	}
+	if a.inj != nil && a.inj.AtErase() {
+		a.halfErase(s)
+		panic(&fault.Crash{Point: fault.PointErase, Seg: seg})
 	}
 	for i := range s.state {
 		s.state[i] = Free
@@ -329,10 +360,133 @@ func (a *Array) Erase(seg int) {
 	}
 	s.free = a.geo.PagesPerSegment
 	s.invalid = 0
+	s.torn = 0
+	s.halfErased = false
 	s.erases++
 	a.erases++
 	// Payload memory is kept allocated; contents of erased Flash are
 	// all-ones on real chips, but nothing may read a Free page.
+}
+
+// SetInjector installs (or, with nil, removes) the crash-point
+// injector consulted at every program and erase.
+func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
+
+// tearProgram records an interrupted program: the page becomes Torn,
+// holding the payload's leading bytes, one partially programmed byte
+// (programming only clears bits — flash/cui.go's finishOp ANDs — so
+// the interrupted byte is payload AND'ed with the bits already pulled
+// low), and erased 0xFF bytes beyond the interruption point.
+func (a *Array) tearProgram(s *segment, page int, payload []byte, tear fault.Tear) {
+	s.state[page] = Torn
+	s.owner[page] = NoPage
+	s.free--
+	s.torn++
+	if a.dataless {
+		return
+	}
+	if s.data == nil {
+		s.data = make([]byte, a.geo.PagesPerSegment*a.geo.PageSize)
+	}
+	dst := s.data[page*a.geo.PageSize : (page+1)*a.geo.PageSize]
+	at := func(i int) byte {
+		if i < len(payload) {
+			return payload[i]
+		}
+		return 0 // Program zero-pads short payloads
+	}
+	n := tear.FullBytes
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = at(i)
+	}
+	if n < len(dst) {
+		dst[n] = at(n) | ^tear.PartialMask // only PartialMask's zero bits got pulled low
+		for i := n + 1; i < len(dst); i++ {
+			dst[i] = 0xFF // untouched: still erased
+		}
+	}
+}
+
+// halfErase records an interrupted segment erase: every page becomes
+// Torn with random subsets of bits floated back toward 1, and the
+// segment is flagged half-erased until a completed Erase wipes it.
+func (a *Array) halfErase(s *segment) {
+	for i := range s.state {
+		s.state[i] = Torn
+		s.owner[i] = NoPage
+	}
+	s.free = 0
+	s.live = 0
+	s.invalid = 0
+	s.torn = a.geo.PagesPerSegment
+	s.halfErased = true
+	if !a.dataless && s.data != nil {
+		rng := sim.NewRNG(a.tearSeed())
+		for i := range s.data {
+			s.data[i] |= byte(rng.Uint64()) // erasing can only raise bits
+		}
+	}
+}
+
+// TearInFlight tears a Valid page whose program was still physically
+// in flight when the power failed. The eager simulation programs flush
+// targets at schedule time while their timed steps are still queued;
+// when an external power failure (CrashPowerCycle) interrupts those
+// steps, the controller calls this to put the page into the state the
+// hardware would actually hold. seed scrambles which bits made it.
+func (a *Array) TearInFlight(ppn uint32, seed uint64) {
+	seg, page := a.checkPPN(ppn)
+	s := &a.segs[seg]
+	if s.state[page] != Valid {
+		panic(fmt.Sprintf("flash: tearing %s page %d", s.state[page], ppn))
+	}
+	s.state[page] = Torn
+	s.owner[page] = NoPage
+	s.live--
+	s.torn++
+	if !a.dataless && s.data != nil {
+		rng := sim.NewRNG(seed)
+		dst := s.data[page*a.geo.PageSize : (page+1)*a.geo.PageSize]
+		// Past the interruption point nothing was programmed yet.
+		n := rng.Intn(len(dst))
+		dst[n] |= ^byte(rng.Uint64())
+		for i := n + 1; i < len(dst); i++ {
+			dst[i] = 0xFF
+		}
+	}
+}
+
+// Quarantine retires a Torn page to Invalid. Recovery calls it once a
+// torn page's contents are known to be superseded (the data is safe in
+// SRAM or in the old, still-valid Flash copy); like any Invalid page,
+// the space comes back at the next segment erase.
+func (a *Array) Quarantine(ppn uint32) {
+	seg, page := a.checkPPN(ppn)
+	s := &a.segs[seg]
+	if s.state[page] != Torn {
+		panic(fmt.Sprintf("flash: quarantining %s page %d", s.state[page], ppn))
+	}
+	s.state[page] = Invalid
+	s.owner[page] = NoPage
+	s.torn--
+	s.invalid++
+}
+
+// SegmentTorn returns the number of Torn pages in a segment.
+func (a *Array) SegmentTorn(seg int) int { return a.segs[seg].torn }
+
+// HalfErased reports whether a segment's last erase was interrupted.
+func (a *Array) HalfErased(seg int) bool { return a.segs[seg].halfErased }
+
+// tearSeed derives a deterministic scramble seed for torn contents.
+func (a *Array) tearSeed() uint64 {
+	if a.inj != nil {
+		return a.inj.TearSeed()
+	}
+	return uint64(a.programs)*0x9e3779b97f4a7c15 + uint64(a.erases)
 }
 
 // SegmentCounts returns the free, live, and invalid page counts of a

@@ -67,6 +67,17 @@ type claim struct {
 // CheckDevice verifies every invariant of a full controller stack and
 // returns the first violation found, or nil.
 func CheckDevice(d *core.Device) error {
+	// A crashed device is by definition not consistent — torn pages,
+	// stranded reservations, an open cleaner intent. Recovery
+	// (internal/recovery) repairs all of that and then calls CheckDevice
+	// as its completion oracle; checking before recovery is an error in
+	// the caller.
+	if d.Crashed() {
+		return fmt.Errorf("invariant: device is crashed; run recovery before checking")
+	}
+	if in := d.Engine().Intent(); in.Kind != cleaner.IntentNone {
+		return fmt.Errorf("invariant: cleaner %v intent still open (src %d, dst %d)", in.Kind, in.Src, in.Dst)
+	}
 	// Layer-local invariants first: the cleaner's structural checks and
 	// the controller's reachability pass (which subsume nothing below —
 	// they establish the preconditions the cross-layer checks rely on).
@@ -92,11 +103,14 @@ func CheckDevice(d *core.Device) error {
 }
 
 // checkSegmentCounts recounts every segment's page states and compares
-// them with the segment's cached free/live/invalid counters.
+// them with the segment's cached free/live/invalid/torn counters. Torn
+// pages and half-erased segments are crash artifacts: recovery must
+// have quarantined or re-erased them all, so any that remain are a
+// violation.
 func checkSegmentCounts(arr *flash.Array) error {
 	geo := arr.Geometry()
 	for seg := 0; seg < geo.Segments; seg++ {
-		var free, live, invalid int
+		var free, live, invalid, torn int
 		for page := 0; page < geo.PagesPerSegment; page++ {
 			switch arr.State(geo.PPN(seg, page)) {
 			case flash.Free:
@@ -105,14 +119,22 @@ func checkSegmentCounts(arr *flash.Array) error {
 				live++
 			case flash.Invalid:
 				invalid++
+			case flash.Torn:
+				torn++
 			default:
 				return fmt.Errorf("invariant: segment %d page %d in unknown state", seg, page)
 			}
 		}
 		cf, cl, ci := arr.SegmentCounts(seg)
-		if free != cf || live != cl || invalid != ci {
-			return fmt.Errorf("invariant: segment %d counts free=%d live=%d invalid=%d, recount free=%d live=%d invalid=%d",
-				seg, cf, cl, ci, free, live, invalid)
+		if free != cf || live != cl || invalid != ci || torn != arr.SegmentTorn(seg) {
+			return fmt.Errorf("invariant: segment %d counts free=%d live=%d invalid=%d torn=%d, recount free=%d live=%d invalid=%d torn=%d",
+				seg, cf, cl, ci, arr.SegmentTorn(seg), free, live, invalid, torn)
+		}
+		if torn != 0 {
+			return fmt.Errorf("invariant: segment %d holds %d torn pages (unrecovered crash artifact)", seg, torn)
+		}
+		if arr.HalfErased(seg) {
+			return fmt.Errorf("invariant: segment %d is half-erased (unrecovered crash artifact)", seg)
 		}
 	}
 	return nil

@@ -1,0 +1,337 @@
+package recovery_test
+
+import (
+	"errors"
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/fault"
+	"envy/internal/invariant"
+	"envy/internal/recovery"
+	"envy/internal/sim"
+)
+
+// Deterministic crash-point sweeps: replay the same seeded workload on
+// a fresh device for every k, with the power planned to fail at the
+// k-th flash program (or erase, or retarget). Together the sweeps walk
+// the crash point through every phase of every multi-step operation the
+// workload performs.
+
+// driveFixed replays a fixed seeded workload (writes, read-backs,
+// idle periods — no transactions, so the model is plain) until the
+// device crashes or the op budget runs out. It reports whether the
+// device crashed.
+func driveFixed(t *testing.T, d *core.Device, model map[uint64]uint32, seed uint64, ops int) bool {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	words := uint64(d.Size()) / 4
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 7:
+			addr := uint64(rng.Uint64n(words/2)) * 4 // half the space, so segments churn
+			v := uint32(rng.Uint64())
+			if _, err := d.WriteWordErr(addr, v); err != nil {
+				if !errors.Is(err, fault.ErrPowerFailure) {
+					t.Fatalf("write: %v", err)
+				}
+				return true
+			}
+			model[addr] = v
+		case r < 8:
+			addr := uint64(rng.Uint64n(words)) * 4
+			v, _, err := d.ReadWordErr(addr)
+			if err != nil {
+				if !errors.Is(err, fault.ErrPowerFailure) {
+					t.Fatalf("read: %v", err)
+				}
+				return true
+			}
+			if want := model[addr]; v != want {
+				t.Fatalf("read %#x at %d, want %#x", v, addr, want)
+			}
+		default:
+			d.AdvanceTo(d.Now().Add(sim.Duration(rng.Intn(400)) * sim.Microsecond))
+		}
+		if d.Crashed() {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyModel checks the whole logical space against the model.
+func verifyModel(t *testing.T, d *core.Device, model map[uint64]uint32) {
+	t.Helper()
+	for addr := uint64(0); addr < uint64(d.Size()); addr += 4 {
+		v, _, err := d.ReadWordErr(addr)
+		if err != nil {
+			t.Fatalf("verify read at %d: %v", addr, err)
+		}
+		if want := model[addr]; v != want {
+			t.Fatalf("verify read %#x at %d, want %#x", v, addr, want)
+		}
+	}
+}
+
+// sweep replays the workload once per plan produced by mkPlan(k),
+// recovering and verifying after each planned crash, and returns the
+// reports of all runs that crashed. It stops at the first k whose plan
+// never fires (the workload performs no k-th event).
+func sweep(t *testing.T, kind cleaner.Kind, maxK int, mkPlan func(k int64) fault.Plan) []recovery.Report {
+	t.Helper()
+	var reports []recovery.Report
+	for k := int64(1); k <= int64(maxK); k++ {
+		d, err := core.New(tortureConfig(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ArmFault(mkPlan(k))
+		model := make(map[uint64]uint32)
+		if !driveFixed(t, d, model, 0xfeedface, 3000) {
+			break
+		}
+		rep, err := recovery.Recover(d)
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v (report: %v)", k, err, rep)
+		}
+		reports = append(reports, rep)
+		verifyModel(t, d, model)
+		if err := invariant.CheckDevice(d); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	return reports
+}
+
+func TestSweepProgramCrashes(t *testing.T) {
+	maxK := 400
+	if testing.Short() {
+		maxK = 60
+	}
+	reports := sweep(t, cleaner.Hybrid, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Program: k}
+	})
+	if len(reports) < 30 {
+		t.Fatalf("only %d program crash points reached; the workload should program far more pages", len(reports))
+	}
+}
+
+func TestSweepEraseCrashes(t *testing.T) {
+	maxK := 60
+	if testing.Short() {
+		maxK = 12
+	}
+	reports := sweep(t, cleaner.Hybrid, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Erase: k}
+	})
+	if len(reports) < 5 {
+		t.Fatalf("only %d erase crash points reached", len(reports))
+	}
+	// Every torn erase leaves its segment half-erased, and each is
+	// inside a clean or a wear swap, whose intent recovery finishes it.
+	cleans, swaps := 0, 0
+	for k, rep := range reports {
+		if rep.HalfErased != 1 {
+			t.Errorf("k=%d: %d half-erased segments, want exactly the torn one", k+1, rep.HalfErased)
+		}
+		if rep.CleanFinished {
+			cleans++
+		}
+		if rep.WearSwapFinished {
+			swaps++
+		}
+		if !rep.CleanFinished && !rep.WearSwapFinished {
+			t.Errorf("k=%d: an erase crashed outside any clean or wear swap: %v", k+1, rep)
+		}
+	}
+	t.Logf("erase sweep: %d crashes, %d in cleans, %d in wear swaps", len(reports), cleans, swaps)
+	if cleans == 0 {
+		t.Error("no erase crash landed in a segment clean")
+	}
+	if !testing.Short() && swaps == 0 {
+		t.Error("no erase crash landed in a wear swap")
+	}
+}
+
+func TestSweepRetargetCrashes(t *testing.T) {
+	maxK := 120
+	if testing.Short() {
+		maxK = 25
+	}
+	reports := sweep(t, cleaner.Greedy, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Retarget: k}
+	})
+	if len(reports) < 20 {
+		t.Fatalf("only %d retarget crash points reached", len(reports))
+	}
+	orphans := 0
+	for _, rep := range reports {
+		orphans += rep.Orphans
+	}
+	// A retarget crash orphans the old Flash copy whenever the page
+	// being overwritten had one (early writes hit unflushed pages, so
+	// not every k produces an orphan — but the sweep as a whole must).
+	if orphans == 0 {
+		t.Error("no retarget crash orphaned a page; the §3.1 window is not being exercised")
+	}
+}
+
+// TestMidTransactionCrash pins the §6 semantics: a transaction open at
+// the crash is rolled back by recovery, and the pre-transaction values
+// come back.
+func TestMidTransactionCrash(t *testing.T) {
+	d, err := core.New(tortureConfig(cleaner.Hybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[uint64]uint32)
+	if driveFixed(t, d, model, 0xabcdef, 800) {
+		t.Fatal("workload crashed with no fault armed")
+	}
+	if err := d.BeginTransaction(); err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 40*4; addr += 4 {
+		if _, err := d.WriteWordErr(addr, 0xdeadbeef); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.CrashPowerCycle()
+	rep, err := recovery.Recover(d)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (report: %v)", err, rep)
+	}
+	if rep.RolledBackPages == 0 {
+		t.Fatalf("recovery rolled back no pages with a transaction open: %v", rep)
+	}
+	if d.InTransaction() {
+		t.Fatal("device still in a transaction after recovery")
+	}
+	verifyModel(t, d, model) // the uncommitted 0xdeadbeef writes must be invisible
+	if err := invariant.CheckDevice(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidFlushCrash pins §3.2 durability: power fails while a write
+// buffer flush has reserved its Flash target, and the acknowledged
+// write survives through the battery-backed frame.
+func TestMidFlushCrash(t *testing.T) {
+	d, err := core.New(tortureConfig(cleaner.Hybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make(map[uint64]uint32)
+	rng := sim.NewRNG(0x5eed)
+	// Dirty plenty of pages, then advance in small slices until a
+	// flush reservation is in flight.
+	reserved := false
+	for i := 0; i < 10000 && !reserved; i++ {
+		addr := uint64(rng.Uint64n(uint64(d.Size())/4)) * 4
+		v := uint32(rng.Uint64())
+		if _, err := d.WriteWordErr(addr, v); err != nil {
+			t.Fatal(err)
+		}
+		model[addr] = v
+		d.AdvanceTo(d.Now().Add(3 * sim.Microsecond))
+		d.FlushTargets(func(lpn, ppn uint32) { reserved = true })
+	}
+	if !reserved {
+		t.Fatal("no flush reservation ever observed in flight")
+	}
+	d.CrashPowerCycle()
+	rep, err := recovery.Recover(d)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (report: %v)", err, rep)
+	}
+	if rep.FlushesDiscarded == 0 {
+		t.Fatalf("crash with a reservation in flight, but recovery discarded no flush: %v", rep)
+	}
+	verifyModel(t, d, model)
+	if err := invariant.CheckDevice(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashedDeviceSemantics pins the latched-crash API: a crashed
+// device rejects everything until recovered, Recover rejects a healthy
+// device, and service resumes cleanly afterwards.
+func TestCrashedDeviceSemantics(t *testing.T) {
+	d, err := core.New(tortureConfig(cleaner.Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovery.Recover(d); err == nil {
+		t.Fatal("Recover succeeded on a device that never crashed")
+	}
+	if _, err := d.WriteWordErr(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.CrashPowerCycle()
+	if !d.Crashed() {
+		t.Fatal("CrashPowerCycle did not latch the crash")
+	}
+	if _, err := d.WriteWordErr(4, 2); !errors.Is(err, core.ErrCrashed) {
+		t.Fatalf("write on a crashed device: got %v, want ErrCrashed", err)
+	}
+	if _, _, err := d.ReadWordErr(0); !errors.Is(err, core.ErrCrashed) {
+		t.Fatalf("read on a crashed device: got %v, want ErrCrashed", err)
+	}
+	before := d.Now()
+	d.AdvanceTo(before.Add(sim.Millisecond))
+	if d.Now() != before {
+		t.Fatal("AdvanceTo moved the clock on a crashed device")
+	}
+	if err := d.BeginTransaction(); !errors.Is(err, core.ErrCrashed) {
+		t.Fatalf("BeginTransaction on a crashed device: got %v, want ErrCrashed", err)
+	}
+	if _, err := recovery.Recover(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovery.Recover(d); err == nil {
+		t.Fatal("second Recover succeeded on an already-recovered device")
+	}
+	v, _, err := d.ReadWordErr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("acknowledged write lost across crash: read %#x, want 1", v)
+	}
+	if _, err := d.WriteWordErr(4, 2); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestTimeAndProbabilityPlans exercises the two non-counting trigger
+// classes deterministically enough to pin their contracts.
+func TestTimeAndProbabilityPlans(t *testing.T) {
+	d, err := core.New(tortureConfig(cleaner.Hybrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ArmFault(fault.Plan{At: 200 * sim.Microsecond})
+	model := make(map[uint64]uint32)
+	if !driveFixed(t, d, model, 0x7157, 5000) {
+		t.Fatal("time-triggered plan never fired")
+	}
+	if _, err := recovery.Recover(d); err != nil {
+		t.Fatal(err)
+	}
+	verifyModel(t, d, model)
+
+	d2, err := core.New(tortureConfig(cleaner.Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.ArmFault(fault.Plan{Probability: 0.01, Seed: 42})
+	model2 := make(map[uint64]uint32)
+	if !driveFixed(t, d2, model2, 0x7158, 20000) {
+		t.Fatal("probabilistic plan never fired")
+	}
+	if _, err := recovery.Recover(d2); err != nil {
+		t.Fatal(err)
+	}
+	verifyModel(t, d2, model2)
+}

@@ -1,0 +1,143 @@
+// Package recovery implements eNVy's mount path: rebuilding a
+// consistent device from what physically survives a power failure —
+// the Flash array (including torn pages and half-erased segments), the
+// battery-backed SRAM (write buffer, page table, flush reservations,
+// transaction shadows, cleaner intent), and nothing else.
+//
+// The paper's durability argument assigns every crash artifact a
+// repair:
+//
+//   - an interrupted flush program (§3.2) left a torn Flash copy, but
+//     the buffered SRAM frame is still the page's current version: the
+//     reservation is discarded, the torn page quarantined, the frame
+//     flushes again later;
+//   - an interrupted clean or wear swap (§3.4) is finished from the
+//     cleaner's battery-backed intent record — remaining live pages
+//     copied out, the source re-erased (re-erasing repairs a
+//     half-erased segment), the spare-segment invariant re-established;
+//   - a crash inside the §3.1 copy-on-write window (table retargeted,
+//     old copy not yet invalidated) left an orphaned Valid page, which
+//     the sweep reclaims;
+//   - an open §6 transaction is rolled back from its shadow pre-images,
+//     so no uncommitted write is half-visible.
+//
+// The order below matters: flush reservations are resolved first (they
+// claim pages the later passes must see settled), the cleaner intent
+// next (it re-erases half-erased segments and must run before the
+// general torn-page quarantine, which skips those segments), then the
+// quarantine and orphan sweeps over the now-stable array, mount-time
+// wear leveling once the array holds only unambiguous live pages (its
+// relocations remap every page they move), and the transaction
+// rollback last (it may program pages and trigger cleaning, which
+// needs the spare-segment invariant back). Recovery completes only if
+// invariant.CheckDevice passes.
+package recovery
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/invariant"
+)
+
+// Report summarizes what one recovery pass found and repaired.
+type Report struct {
+	// FlushesDiscarded counts in-flight flush reservations resolved by
+	// discarding the torn Flash copy (the buffered frame remains the
+	// page's current version).
+	FlushesDiscarded int
+
+	// StrayFlushes counts frames that were marked Flushing with no
+	// reservation yet (the crash hit before the flush target was
+	// chosen) and were reset to ordinary dirty frames.
+	StrayFlushes int
+
+	// HalfErased counts segments whose erase was interrupted; each was
+	// repaired by erasing it again.
+	HalfErased int
+
+	// CleanFinished / WearSwapFinished report that the cleaner's
+	// battery-backed intent recorded an interrupted segment clean or
+	// wear swap, which recovery ran to completion.
+	CleanFinished    bool
+	WearSwapFinished bool
+
+	// TornQuarantined counts partially programmed pages retired by the
+	// general sweep (beyond those covered by the passes above).
+	TornQuarantined int
+
+	// Orphans counts Valid pages no battery-backed record claimed —
+	// the artifact of a crash inside the §3.1 retarget window — that
+	// were invalidated.
+	Orphans int
+
+	// MountWearSwaps counts wear-leveling swaps run at mount to bring
+	// the wear spread back within bound (crash/recover cycles add wear
+	// outside the leveler's normal once-per-clean pacing).
+	MountWearSwaps int
+
+	// RolledBackPages counts pages of the open transaction restored to
+	// their pre-transaction contents (0 if no transaction was open).
+	RolledBackPages int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"flushes discarded %d, stray flushes %d, half-erased segments %d, clean finished %v, wear swap finished %v, torn quarantined %d, orphans %d, mount wear swaps %d, rolled back %d",
+		r.FlushesDiscarded, r.StrayFlushes, r.HalfErased, r.CleanFinished, r.WearSwapFinished, r.TornQuarantined, r.Orphans, r.MountWearSwaps, r.RolledBackPages)
+}
+
+// Recover mounts a crashed device: it repairs every crash artifact,
+// verifies the full invariant suite, and returns the device to
+// service. It fails if the device is not crashed. Recovery is not
+// itself crash-injectable — any armed fault plan is disarmed first
+// (re-arm after Recover returns to test another failure).
+func Recover(d *core.Device) (Report, error) {
+	var r Report
+	if !d.Crashed() {
+		return r, fmt.Errorf("recovery: device is not crashed")
+	}
+	d.DisarmFault()
+
+	arr, geo := d.Array(), d.Geometry()
+	for seg := 0; seg < geo.Segments; seg++ {
+		if arr.HalfErased(seg) {
+			r.HalfErased++
+		}
+	}
+
+	var err error
+	if r.FlushesDiscarded, err = d.RecoverFlushes(); err != nil {
+		return r, err
+	}
+	r.StrayFlushes = d.ClearStrayFlushing()
+
+	kind, err := d.Engine().RecoverIntent()
+	if err != nil {
+		return r, err
+	}
+	r.CleanFinished = kind == cleaner.IntentClean
+	r.WearSwapFinished = kind == cleaner.IntentWearSwap
+
+	r.TornQuarantined = d.QuarantineTorn()
+	r.Orphans = d.SweepOrphans()
+
+	// With the array settled (no torn pages, no orphans, spare
+	// restored), bring the wear spread back within bound — crash
+	// recovery adds erases outside the leveler's normal pacing.
+	r.MountWearSwaps = d.Engine().LevelWearAtMount()
+
+	d.ClearCrashed()
+	if d.InTransaction() {
+		r.RolledBackPages = d.TransactionPages()
+		if err := d.Rollback(); err != nil {
+			return r, fmt.Errorf("recovery: rolling back the open transaction: %w", err)
+		}
+	}
+
+	if err := invariant.CheckDevice(d); err != nil {
+		return r, fmt.Errorf("recovery: post-recovery check failed: %w", err)
+	}
+	return r, nil
+}
