@@ -11,7 +11,10 @@
 package envy_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"sort"
 	"testing"
 
 	"envy"
@@ -19,6 +22,48 @@ import (
 	"envy/internal/experiments"
 	"envy/internal/sim"
 )
+
+// reportAll emits one experiment's metric map — the same maps
+// cmd/experiments -json writes to BENCH_results.json — as custom
+// benchmark metrics, in sorted order for stable output.
+func reportAll(b *testing.B, metrics map[string]float64) {
+	b.Helper()
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(metrics[k], k)
+	}
+}
+
+// TestBenchEncoder round-trips the BENCH_results.json encoder the
+// benchmarks and cmd/experiments share.
+func TestBenchEncoder(t *testing.T) {
+	records := []experiments.BenchRecord{
+		{
+			Name:  "parallel",
+			Scale: "bench",
+			Seed:  1,
+			Metrics: experiments.ParallelMetrics([]experiments.ParallelPoint{
+				{ParallelFlush: 4, MeanFlushTime: 1025, TPS: 9000, WriteMean: 310},
+			}),
+			WallSeconds: 0.5,
+		},
+	}
+	var buf bytes.Buffer
+	if err := experiments.WriteBenchJSON(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var back []experiments.BenchRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decoding written JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Name != "parallel" || back[0].Metrics["banks4_flush_ns"] != 1025 {
+		t.Fatalf("round trip mangled records: %+v", back)
+	}
+}
 
 // benchScale trims the small profile so individual benchmark
 // iterations stay around a second of wall time.
@@ -154,11 +199,7 @@ func benchRate(b *testing.B, sc experiments.Scale, rate float64) {
 			b.Fatal(err)
 		}
 	}
-	p := pts[0]
-	b.ReportMetric(p.TPS, "tps")
-	b.ReportMetric(float64(p.ReadMean), "read_ns")
-	b.ReportMetric(float64(p.WriteMean), "write_ns")
-	b.ReportMetric(p.CleaningCost, "cleaning_cost")
+	reportAll(b, experiments.RateMetrics(pts))
 }
 
 // BenchmarkFig13 drives TPC-A below and beyond saturation (Figure 13:
@@ -211,10 +252,7 @@ func BenchmarkBreakdown(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(r.Reading*100, "read_pct")
-	b.ReportMetric(r.Cleaning*100, "clean_pct")
-	b.ReportMetric(r.Flushing*100, "flush_pct")
-	b.ReportMetric(r.Erasing*100, "erase_pct")
+	reportAll(b, experiments.BreakdownMetrics(r))
 }
 
 // BenchmarkLifetime measures the §5.5 estimate from a live run.
@@ -228,8 +266,7 @@ func BenchmarkLifetime(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(r.Measured.Years(), "years")
-	b.ReportMetric(r.PaperFormula.Years(), "paper_years")
+	reportAll(b, experiments.LifetimeMetrics(r))
 }
 
 // BenchmarkParallelFlush measures the §6 concurrent-bank extension.
@@ -246,8 +283,7 @@ func BenchmarkParallelFlush(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(pts[0].MeanFlushTime), "flush_ns")
-			b.ReportMetric(pts[0].TPS, "tps")
+			reportAll(b, experiments.ParallelMetrics(pts))
 		})
 	}
 }
@@ -264,8 +300,7 @@ func BenchmarkAblationRedistribution(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(rows[0].With, "cost_with")
-	b.ReportMetric(rows[0].Without, "cost_without")
+	reportAll(b, experiments.AblationMetrics(rows))
 }
 
 // BenchmarkDeviceAccess measures the raw Go-level speed of simulated

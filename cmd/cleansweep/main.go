@@ -106,6 +106,8 @@ func main() {
 	fmt.Printf("flushes:         %d\n", c.Flushes)
 	fmt.Printf("segment cleans:  %d (%.1f flushes per clean)\n", c.SegmentCleans,
 		float64(c.Flushes)/float64(max64(c.SegmentCleans, 1)))
+	fmt.Printf("clean copies:    %d (%.1f live pages per clean)\n", c.CleanCopies,
+		float64(c.CleanCopies)/float64(max64(c.SegmentCleans, 1)))
 	fmt.Printf("erases:          %d, wear swaps: %d\n", c.Erases, c.WearSwaps)
 	wmin, wmax := h.Array().WearSpread()
 	fmt.Printf("wear spread:     %d..%d erases per segment\n", wmin, wmax)

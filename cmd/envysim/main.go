@@ -118,6 +118,15 @@ func main() {
 		100*b.Fraction(stats.Cleaning), 100*b.Fraction(stats.Erasing), 100*b.Fraction(stats.Idle))
 	wmin, wmax := dev.Array().WearSpread()
 	fmt.Printf("wear:             %d..%d erases per segment (%d swaps)\n", wmin, wmax, res.Counters.WearSwaps)
+	ops := dev.OpStats()
+	fmt.Printf("background ops:   kind  done/started  suspensions (§3.4 preempted mid-flight)\n")
+	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap} {
+		oc := ops.Get(k)
+		if oc.Started == 0 {
+			continue
+		}
+		fmt.Printf("                  %-11v %d/%d  %d\n", k, oc.Completed, oc.Started, oc.Suspensions)
+	}
 
 	est := lifetime.Estimate{
 		CapacityBytes: cfg.Geometry.Capacity(),

@@ -1,6 +1,6 @@
 // Command envyvet runs the module's static-analysis suite (simtime,
-// flashstate, panicpolicy, exhaustive — see internal/analysis) in two
-// modes.
+// flashstate, panicpolicy, exhaustive, schedstate — see
+// internal/analysis) in two modes.
 //
 // Standalone, for humans:
 //

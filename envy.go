@@ -2,6 +2,7 @@ package envy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"envy/internal/cleaner"
@@ -203,10 +204,32 @@ func (c Config) coreConfig() core.Config {
 }
 
 // Device is a simulated eNVy storage system: a flat, persistent,
-// byte-addressable memory. It is not safe for concurrent use — the
-// host memory bus serializes accesses, as in the hardware.
+// byte-addressable memory.
+//
+// # Concurrency
+//
+// All Device methods are safe for concurrent use: one mutex serializes
+// them, which models the hardware faithfully — the host memory bus
+// admits a single access at a time. The memory model this buys the
+// host is sequential consistency over device operations: concurrent
+// calls execute in some single total order, each call observes every
+// effect of the calls ordered before it, and a call's return
+// happens-before (in the Go sense) the start of whichever call the
+// mutex admits next. Aggregate operations (Read, Write, Stats,
+// Recover) are atomic as a whole: no other caller's access interleaves
+// inside them.
+//
+// The transaction (§6) is device-wide state, not per-caller — exactly
+// one may be open at a time, and Begin/Commit/Rollback from different
+// goroutines act on that one transaction. Callers that mix
+// transactional and plain writes concurrently must coordinate
+// ownership of the transaction themselves, or unrelated writes will be
+// captured by (and roll back with) someone else's transaction.
+//
+// Core bypasses the mutex; see its doc.
 type Device struct {
-	d *core.Device
+	mu sync.Mutex
+	d  *core.Device
 }
 
 // New builds a device. Missing Config fields default to the paper's
@@ -221,26 +244,40 @@ func New(cfg Config) (*Device, error) {
 
 // Size returns the logical capacity in bytes (80% of the physical
 // array by default).
-func (dev *Device) Size() int64 { return dev.d.Size() }
+func (dev *Device) Size() int64 {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.Size()
+}
 
 // Now returns the current simulated time since device start.
-func (dev *Device) Now() time.Duration { return time.Duration(dev.d.Now()) }
+func (dev *Device) Now() time.Duration {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return time.Duration(dev.d.Now())
+}
 
 // Idle advances the simulated clock by d with the host idle, letting
 // background flushing, cleaning, and erasing make progress.
 func (dev *Device) Idle(d time.Duration) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	dev.d.AdvanceTo(dev.d.Now().Add(sim.Duration(d)))
 }
 
 // ReadWord reads the 32-bit word at a 4-byte-aligned address and
 // returns it with the host-observed latency.
 func (dev *Device) ReadWord(addr uint64) (uint32, time.Duration) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	v, lat := dev.d.ReadWord(addr)
 	return v, time.Duration(lat)
 }
 
 // WriteWord stores a 32-bit word and returns the host-observed latency.
 func (dev *Device) WriteWord(addr uint64, v uint32) time.Duration {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	return time.Duration(dev.d.WriteWord(addr, v))
 }
 
@@ -249,6 +286,8 @@ func (dev *Device) WriteWord(addr uint64, v uint32) time.Duration {
 // wild pointer through a real memory bus would fault; hosts that
 // cannot trust their addresses should use ReadErr.
 func (dev *Device) Read(p []byte, addr uint64) time.Duration {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	return time.Duration(dev.d.Read(p, addr))
 }
 
@@ -256,6 +295,8 @@ func (dev *Device) Read(p []byte, addr uint64) time.Duration {
 // out-of-range access returns an error instead of panicking, with no
 // time charged and no state changed.
 func (dev *Device) ReadErr(p []byte, addr uint64) (time.Duration, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	lat, err := dev.d.ReadErr(p, addr)
 	return time.Duration(lat), err
 }
@@ -264,12 +305,16 @@ func (dev *Device) ReadErr(p []byte, addr uint64) (time.Duration, error) {
 // returns the cumulative latency. An out-of-range access panics; see
 // Read.
 func (dev *Device) Write(p []byte, addr uint64) time.Duration {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	return time.Duration(dev.d.Write(p, addr))
 }
 
 // WriteErr is Write with the address range validated up front,
 // returning an error instead of panicking on an out-of-range access.
 func (dev *Device) WriteErr(p []byte, addr uint64) (time.Duration, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	lat, err := dev.d.WriteErr(p, addr)
 	return time.Duration(lat), err
 }
@@ -278,6 +323,8 @@ func (dev *Device) WriteErr(p []byte, addr uint64) (time.Duration, error) {
 // out-of-range or page-straddling access returns an error instead of
 // panicking.
 func (dev *Device) ReadWordErr(addr uint64) (uint32, time.Duration, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	v, lat, err := dev.d.ReadWordErr(addr)
 	return v, time.Duration(lat), err
 }
@@ -285,6 +332,8 @@ func (dev *Device) ReadWordErr(addr uint64) (uint32, time.Duration, error) {
 // WriteWordErr is WriteWord with the address validated up front,
 // returning an error instead of panicking.
 func (dev *Device) WriteWordErr(addr uint64, v uint32) (time.Duration, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	lat, err := dev.d.WriteWordErr(addr, v)
 	return time.Duration(lat), err
 }
@@ -292,6 +341,8 @@ func (dev *Device) WriteWordErr(addr uint64, v uint32) (time.Duration, error) {
 // Preload installs initial contents directly into Flash, bypassing the
 // write buffer and the simulated clock (a restore/format pass).
 func (dev *Device) Preload(data []byte, addr uint64) error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	return dev.d.Preload(data, addr)
 }
 
@@ -300,27 +351,47 @@ func (dev *Device) Preload(data []byte, addr uint64) error {
 // battery-backed SRAM), and only the volatile translation cache is
 // lost. To model a failure that interrupts work mid-operation, use
 // ArmFault or CrashPowerCycle followed by Recover.
-func (dev *Device) PowerCycle() { dev.d.PowerCycle() }
+func (dev *Device) PowerCycle() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.PowerCycle()
+}
 
 // ArmFault installs a one-shot crash-point injector executing plan,
 // replacing any previous one. When a planned point is reached, the
 // device suffers a power failure exactly there — a partially
 // programmed page, a half-erased segment, or an un-invalidated old
 // copy — and every operation fails with ErrCrashed until Recover.
-func (dev *Device) ArmFault(plan FaultPlan) { dev.d.ArmFault(plan.plan()) }
+func (dev *Device) ArmFault(plan FaultPlan) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.ArmFault(plan.plan())
+}
 
 // DisarmFault removes the armed fault plan, if any.
-func (dev *Device) DisarmFault() { dev.d.DisarmFault() }
+func (dev *Device) DisarmFault() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.DisarmFault()
+}
 
 // Crashed reports whether the device is down after a simulated power
 // failure and needs Recover.
-func (dev *Device) Crashed() bool { return dev.d.Crashed() }
+func (dev *Device) Crashed() bool {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.Crashed()
+}
 
 // CrashPowerCycle forces a power failure right now, regardless of any
 // armed plan — the external switch-flip. Anything in flight (an
 // in-flight flush program, queued background work) is interrupted the
 // way a real power loss would leave it.
-func (dev *Device) CrashPowerCycle() { dev.d.CrashPowerCycle() }
+func (dev *Device) CrashPowerCycle() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.CrashPowerCycle()
+}
 
 // RecoveryReport summarizes what a Recover call found and repaired.
 type RecoveryReport struct {
@@ -358,6 +429,8 @@ type RecoveryReport struct {
 // device returns to service. Every write acknowledged before the
 // crash is durable; no torn or uncommitted data is readable after.
 func (dev *Device) Recover() (RecoveryReport, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	r, err := recovery.Recover(dev.d)
 	return RecoveryReport{
 		FlushesDiscarded: r.FlushesDiscarded,
@@ -374,13 +447,25 @@ func (dev *Device) Recover() (RecoveryReport, error) {
 
 // Begin opens a hardware atomic transaction (§6). Writes until Commit
 // or Rollback keep their pre-transaction versions as shadow copies.
-func (dev *Device) Begin() error { return dev.d.BeginTransaction() }
+func (dev *Device) Begin() error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.BeginTransaction()
+}
 
 // Commit makes the open transaction's writes permanent.
-func (dev *Device) Commit() error { return dev.d.Commit() }
+func (dev *Device) Commit() error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.Commit()
+}
 
 // Rollback restores every page written during the open transaction.
-func (dev *Device) Rollback() error { return dev.d.Rollback() }
+func (dev *Device) Rollback() error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.Rollback()
+}
 
 // Stats is a point-in-time snapshot of the device's measurements.
 type Stats struct {
@@ -414,11 +499,52 @@ type Stats struct {
 
 	// BufferedPages is the current write-buffer occupancy.
 	BufferedPages int
+
+	// Background operation lifecycles, by kind (§3.4 suspend/resume).
+	FlushOps     OpCounters
+	CleanCopyOps OpCounters
+	EraseOps     OpCounters
+	WearSwapOps  OpCounters
+}
+
+// OpCounters is the scheduler's lifecycle accounting for one kind of
+// background operation: flush programs, cleaning copies, erases, or
+// wear-swap relocations.
+type OpCounters struct {
+	// Started and Completed count operations enqueued and finished.
+	Started   int64
+	Completed int64
+
+	// Suspensions and Resumes count how often host accesses preempted
+	// operations of this kind mid-flight and how often they picked back
+	// up afterwards (each resume pays the §3.4 resume delay).
+	Suspensions int64
+	Resumes     int64
+
+	// Active is simulated time operations of this kind spent
+	// progressing on the chips; Suspended is time spent parked
+	// mid-operation waiting for the host to go quiet.
+	Active    time.Duration
+	Suspended time.Duration
+}
+
+func opCounters(c stats.OpCounters) OpCounters {
+	return OpCounters{
+		Started:     c.Started,
+		Completed:   c.Completed,
+		Suspensions: c.Suspensions,
+		Resumes:     c.Resumes,
+		Active:      time.Duration(c.Active),
+		Suspended:   time.Duration(c.Suspended),
+	}
 }
 
 // Stats returns the current measurement snapshot.
 func (dev *Device) Stats() Stats {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	c := dev.d.Counters()
+	ops := dev.d.OpStats()
 	b := dev.d.Breakdown()
 	rl, wl := dev.d.ReadLatency(), dev.d.WriteLatency()
 	wmin, wmax := dev.d.Array().WearSpread()
@@ -449,18 +575,33 @@ func (dev *Device) Stats() Stats {
 		WearMin:       wmin,
 		WearMax:       wmax,
 		BufferedPages: dev.d.BufferLen(),
+		FlushOps:      opCounters(ops.Get(stats.OpFlush)),
+		CleanCopyOps:  opCounters(ops.Get(stats.OpCleanCopy)),
+		EraseOps:      opCounters(ops.Get(stats.OpErase)),
+		WearSwapOps:   opCounters(ops.Get(stats.OpWearSwap)),
 	}
 }
 
 // ResetStats zeroes all measurements (typically after warm-up).
-func (dev *Device) ResetStats() { dev.d.ResetStats() }
+func (dev *Device) ResetStats() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.ResetStats()
+}
 
 // CheckConsistency verifies the device's internal invariants and
 // returns the first violation, or nil. Intended for tests and
 // validation harnesses.
-func (dev *Device) CheckConsistency() error { return dev.d.CheckConsistency() }
+func (dev *Device) CheckConsistency() error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.d.CheckConsistency()
+}
 
 // Core exposes the underlying controller for advanced instrumentation
 // (benchmark harnesses inside this module). External users should not
-// need it.
+// need it. The core device is NOT protected by the Device mutex:
+// callers that mix Core with concurrent Device methods must hold off
+// all other goroutines themselves, or races on controller state will
+// corrupt the simulation.
 func (dev *Device) Core() *core.Device { return dev.d }

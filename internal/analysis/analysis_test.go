@@ -176,12 +176,17 @@ func TestPanicpolicy(t *testing.T) {
 	runFixture(t, analysis.Panicpolicy, "envy/cmd/tool")        // out of scope: clean
 }
 
+func TestSchedstate(t *testing.T) {
+	runFixture(t, analysis.Schedstate, "envy/internal/sched") // release-before-suspend rules
+	runFixture(t, analysis.Schedstate, "envy/internal/core")  // out of scope: clean
+}
+
 func TestExhaustive(t *testing.T) {
 	runFixture(t, analysis.Exhaustive, "envy/internal/switcher") // module/local/hidden enums
 	runFixture(t, analysis.Exhaustive, "envy/internal/flash")    // declarations only: clean
 }
 
-// TestAll pins the suite contents: drivers and CI rely on these four.
+// TestAll pins the suite contents: drivers and CI rely on these five.
 func TestAll(t *testing.T) {
 	var names []string
 	for _, a := range analysis.All() {
@@ -189,7 +194,7 @@ func TestAll(t *testing.T) {
 	}
 	sort.Strings(names)
 	joined := strings.Join(names, " ")
-	if joined != "exhaustive flashstate panicpolicy simtime" {
+	if joined != "exhaustive flashstate panicpolicy schedstate simtime" {
 		t.Fatalf("analyzer suite = %q", joined)
 	}
 }

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Schedstate enforces the scheduler's central resource invariant: a
+// suspended operation never holds hardware. In internal/sched, marking
+// an Op suspended (assigning true to its suspended field) is legal
+// only after the function has released a bank claim — a preempted
+// program leaves the chips free (§3.4), and invariant.CheckDevice
+// assumes exactly that when it cross-checks BankSet.InUse against
+// claimed ops. The check is lexical (a Release call earlier in the
+// same function body), which matches how the scheduler is written and
+// catches the realistic mistake: a new suspension path that parks an
+// op without giving its bank back.
+var Schedstate = &Analyzer{
+	Name: "schedstate",
+	Doc: "require bank release before marking a scheduler op suspended\n\n" +
+		"In envy/internal/sched, an assignment of true to the suspended\n" +
+		"field of an Op must be preceded, lexically within the same\n" +
+		"function body, by a call to a Release method: a suspended op\n" +
+		"must never hold its bank claim, or the scheduler's SelfCheck\n" +
+		"and the whole-device invariants diverge from the hardware\n" +
+		"model. Assigning false (resuming or initializing) is always\n" +
+		"fine.",
+	Run: runSchedstate,
+}
+
+func runSchedstate(pass *Pass) error {
+	if pass.Pkg.Path() != "envy/internal/sched" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var releases []token.Pos
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+					releases = append(releases, call.Pos())
+				}
+				return true
+			})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || assign.Tok != token.ASSIGN {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "suspended" || i >= len(assign.Rhs) {
+						continue
+					}
+					selection := pass.TypesInfo.Selections[sel]
+					if selection == nil || selection.Kind() != types.FieldVal {
+						continue
+					}
+					tv, ok := pass.TypesInfo.Types[assign.Rhs[i]]
+					if !ok || tv.Value == nil || tv.Value.String() != "true" {
+						continue
+					}
+					released := false
+					for _, pos := range releases {
+						if pos < assign.Pos() {
+							released = true
+							break
+						}
+					}
+					if !released {
+						pass.Reportf(assign.Pos(), "schedstate: op marked suspended without a preceding bank Release in this function; a suspended op must never hold its bank claim")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

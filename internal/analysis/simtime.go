@@ -28,6 +28,7 @@ var simPackages = map[string]bool{
 	"envy/internal/core":        true,
 	"envy/internal/cleaner":     true,
 	"envy/internal/flash":       true,
+	"envy/internal/sched":       true,
 	"envy/internal/sram":        true,
 	"envy/internal/sim":         true,
 	"envy/internal/experiments": true,

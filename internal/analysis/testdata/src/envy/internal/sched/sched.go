@@ -1,0 +1,63 @@
+// Package sched is an analyzer fixture standing in for
+// envy/internal/sched: the schedstate analyzer enforces that an Op is
+// marked suspended only after its bank claim has been released.
+package sched
+
+type bankSet struct{}
+
+func (bankSet) Release(bank int, id int64) {}
+
+// Op mirrors the real scheduler's operation record.
+type Op struct {
+	Bank        int
+	id          int64
+	claimed     bool
+	suspended   bool
+	suspendedAt int64
+}
+
+type Scheduler struct {
+	banks bankSet
+}
+
+// suspendOp is the compliant shape: release first, then mark.
+func (s *Scheduler) suspendOp(op *Op) {
+	if op.claimed {
+		s.banks.Release(op.Bank, op.id)
+		op.claimed = false
+	}
+	op.suspended = true // release above makes this legal
+}
+
+// parkLeakingClaim forgets to give the bank back.
+func (s *Scheduler) parkLeakingClaim(op *Op) {
+	op.suspended = true // want `schedstate: op marked suspended without a preceding bank Release`
+	op.suspendedAt = 0
+}
+
+// releaseTooLate releases only after the op is already marked: the
+// check is lexical, so this is still a violation.
+func (s *Scheduler) releaseTooLate(op *Op) {
+	op.suspended = true // want `schedstate: op marked suspended without a preceding bank Release`
+	s.banks.Release(op.Bank, op.id)
+	op.claimed = false
+}
+
+// resume assigns false, which is always fine — resuming and
+// initializing never require a release.
+func (s *Scheduler) resume(op *Op) {
+	op.suspended = false
+	op.claimed = false
+}
+
+// enqueue initializes the flag without touching banks: fine.
+func (s *Scheduler) enqueue(op *Op) {
+	op.suspended = false
+	op.id++
+}
+
+// deliberate shows the suppression escape hatch used by tests that
+// corrupt scheduler state on purpose.
+func (s *Scheduler) deliberate(op *Op) {
+	op.suspended = true //envyvet:allow schedstate
+}

@@ -97,6 +97,17 @@ type Config struct {
 	// only flush-back-to-home and FIFO-within-partition. Used by the
 	// ablation benchmarks.
 	NoRedistribute bool
+
+	// BankStagger, when positive, rotates each hybrid partition's
+	// initial segment FIFO so active segments start spread across this
+	// many banks. With PartitionSegments a multiple of the bank count
+	// (the paper's 16 segments over 8 banks), every partition's active
+	// segment would otherwise sit on the same bank forever — the FIFO
+	// rotation keeps them in phase — and §6 bank-parallel flushing
+	// could never find two targets on distinct banks. Zero keeps the
+	// legacy in-phase layout (the single-lane controller does not
+	// care, and existing golden outputs depend on it).
+	BankStagger int
 }
 
 // StepKind identifies one unit of cleaning work.
@@ -118,11 +129,14 @@ func (k StepKind) String() string {
 }
 
 // Step records work the engine performed: Pages copies into Seg, or an
-// erase of Seg.
+// erase of Seg. Wear marks work done on behalf of a wear-leveling swap
+// rather than a segment clean, so the timed controller can account the
+// two as distinct operation kinds.
 type Step struct {
 	Kind  StepKind
 	Seg   int
 	Pages int // number of page programs for StepCopy; 0 for StepErase
+	Wear  bool
 }
 
 // IntentKind identifies which multi-step cleaner operation an Intent
@@ -282,6 +296,20 @@ func New(arr *flash.Array, cfg Config, remap func(logical, oldPPN, newPPN uint32
 				seg++
 			}
 		}
+		if cfg.BankStagger > 1 {
+			// Rotate partition p's FIFO left by p modulo the stagger —
+			// equivalent to p no-cost cleans — so the active segments
+			// (list tails) start on distinct banks instead of all in
+			// phase. Partitions rotate at similar rates under load, so
+			// the spread largely persists.
+			for p := range e.parts {
+				segs := e.parts[p].segs
+				if r := p % cfg.BankStagger; r > 0 && r < len(segs) {
+					rotated := append(append([]int(nil), segs[r:]...), segs[:r]...)
+					copy(segs, rotated)
+				}
+			}
+		}
 		e.partOf[e.spare] = -1
 	default:
 		return nil, fmt.Errorf("cleaner: unknown policy kind %d", int(cfg.Kind))
@@ -352,17 +380,16 @@ func (e *Engine) initialHome(logical uint32) int {
 // separately — the cleaning-cost metric excludes the initial flush,
 // §4.1). The payload may be nil for dataless arrays.
 func (e *Engine) Flush(logical uint32, home int, payload []byte) (ppn uint32, work []Step) {
+	return e.flush(logical, home, payload, nil)
+}
+
+func (e *Engine) flush(logical uint32, home int, payload []byte, avoid func(bank int) bool) (ppn uint32, work []Step) {
 	e.work = e.work[:0]
 	// Wear leveling runs before placement: a swap relocates live pages
 	// (remapping them via the callback), and doing it first keeps the
 	// returned physical page authoritative for the page being flushed.
 	e.maybeLevelWear()
-	var seg int
-	if e.cfg.Kind == Greedy {
-		seg = e.flushTargetGreedy()
-	} else {
-		seg = e.flushTargetHybrid(home)
-	}
+	seg := e.flushTarget(home, avoid)
 	// Each clean inside the target choice rotates the old spare into
 	// service; if such a segment's historical wear puts it straight
 	// over the spread bound, level again now, before this flush returns
@@ -371,11 +398,7 @@ func (e *Engine) Flush(logical uint32, home int, payload []byte) (ppn uint32, wo
 	// A swap transfers segment roles, so the target is recomputed
 	// (free space exists, so the recompute cannot clean again).
 	for e.maybeLevelWear() {
-		if e.cfg.Kind == Greedy {
-			seg = e.flushTargetGreedy()
-		} else {
-			seg = e.flushTargetHybrid(home)
-		}
+		seg = e.flushTarget(home, avoid)
 	}
 	page := e.nextFree(seg)
 	ppn = e.arr.Geometry().PPN(seg, page)
@@ -385,6 +408,191 @@ func (e *Engine) Flush(logical uint32, home int, payload []byte) (ppn uint32, wo
 		e.noteFlush(e.partOf[seg])
 	}
 	return ppn, e.work
+}
+
+// flushTarget picks the segment a flush programs into. Without an
+// avoid predicate this is the policy's normal choice. With one (the §6
+// bank-parallel path), placement steers toward an acceptable bank:
+// first the home partition's active segment, then other partitions'
+// actives by distance, then any partition segment with a free suffix —
+// nearest first, so the locality cost stays as small as the bank
+// constraint allows. The always-erased spare segment sits outside
+// every partition and is never a candidate; when every acceptable bank
+// is out of space the policy's normal (cleaning) path takes over.
+func (e *Engine) flushTarget(home int, avoid func(bank int) bool) int {
+	if e.cfg.Kind == Greedy {
+		return e.flushTargetGreedy()
+	}
+	if avoid != nil {
+		e.ensureFronts(home, avoid)
+		geo := e.arr.Geometry()
+		if seg := e.PeekFlushSegment(home); seg >= 0 && !avoid(geo.BankOf(seg)) {
+			return seg
+		}
+		for dist := 1; dist < len(e.parts); dist++ {
+			for _, idx := range []int{home + dist, home - dist} {
+				if idx < 0 || idx >= len(e.parts) {
+					continue
+				}
+				if seg := e.PeekFlushSegment(idx); seg >= 0 && !avoid(geo.BankOf(seg)) {
+					return seg
+				}
+			}
+		}
+		if seg := e.freeSegmentAvoiding(home, avoid); seg >= 0 {
+			return seg
+		}
+		if seg := e.cleanAvoiding(home, avoid); seg >= 0 {
+			return seg
+		}
+	}
+	return e.flushTargetHybrid(home)
+}
+
+// cleanAvoiding opens a new flush front for the §6 bank-parallel path:
+// one proactive FIFO clean whose destination (the spare) sits on an
+// acceptable bank. All reclamation chains through the single spare
+// segment, so under load erased space exists on essentially one bank
+// at a time and concurrent flushes pile onto it; cleaning ahead of the
+// forced schedule produces the partition's next destination while the
+// current bank is still programming. The work is not wasted — it is
+// the same victim the partition's next forced clean would pick, done
+// early. Returns the destination segment, or -1 when the spare's bank
+// is itself unacceptable or no partition near home has a victim worth
+// cleaning.
+func (e *Engine) cleanAvoiding(home int, avoid func(bank int) bool) int {
+	if avoid(e.arr.Geometry().BankOf(e.spare)) {
+		return -1
+	}
+	return e.forcedClean(home)
+}
+
+// forcedClean performs one FIFO clean ahead of the forced schedule,
+// trying the home partition first and then outward by distance, and
+// returns the destination segment (the old spare) or -1 when no nearby
+// partition has a victim worth cleaning. The work matches what the
+// partition's next forced clean would do — the same victim in the same
+// FIFO order, just earlier — so the recovered space is never wasted.
+func (e *Engine) forcedClean(home int) int {
+	geo := e.arr.Geometry()
+	try := func(idx int) int {
+		p := &e.parts[idx]
+		if len(p.segs) < 2 {
+			return -1
+		}
+		victim := p.segs[0]
+		_, live, _ := e.arr.SegmentCounts(victim)
+		if live == geo.PagesPerSegment {
+			return -1 // fully live: cleaning recovers nothing
+		}
+		dest := e.cleanSegment(victim)
+		copy(p.segs, p.segs[1:])
+		p.segs[len(p.segs)-1] = dest
+		e.partOf[dest] = idx
+		p.cleans++
+		p.costCopies = 0.9*p.costCopies + float64(live)
+		p.costRecovered = 0.9*p.costRecovered + float64(geo.PagesPerSegment-live)
+		e.redistribute(idx, dest)
+		// live < PagesPerSegment and redistribution only moves pages
+		// out of dest, so space is guaranteed here.
+		return dest
+	}
+	if seg := try(home); seg >= 0 {
+		return seg
+	}
+	for dist := 1; dist < len(e.parts); dist++ {
+		for _, idx := range []int{home + dist, home - dist} {
+			if idx < 0 || idx >= len(e.parts) {
+				continue
+			}
+			if seg := try(idx); seg >= 0 {
+				return seg
+			}
+		}
+	}
+	return -1
+}
+
+// ensureFronts keeps §6 flush fronts alive: when fewer banks than the
+// configured spread hold any erased-free page, one proactive clean
+// opens a new front on the spare's bank. Without this the fronts die
+// out one by one — reclamation chains through the single spare, so
+// free space under load collapses toward one bank and concurrent
+// flushes serialize behind it.
+func (e *Engine) ensureFronts(home int, avoid func(bank int) bool) {
+	want := e.cfg.BankStagger
+	if want <= 1 {
+		return
+	}
+	geo := e.arr.Geometry()
+	spareBank := geo.BankOf(e.spare)
+	if avoid(spareBank) {
+		return // the front this clean would open is on a busy bank
+	}
+	seen := make([]bool, geo.Banks)
+	fronts := 0
+	for seg := 0; seg < geo.Segments; seg++ {
+		if seg == e.spare {
+			continue
+		}
+		if free, _, _ := e.arr.SegmentCounts(seg); free > 0 {
+			if b := geo.BankOf(seg); !seen[b] {
+				seen[b] = true
+				fronts++
+			}
+		}
+	}
+	if fronts >= want || seen[spareBank] {
+		return // enough fronts, or a clean would not add a new bank
+	}
+	e.forcedClean(home)
+}
+
+// freeSegmentAvoiding finds a segment with free pages on an acceptable
+// bank, searching the home partition first and then outward by
+// distance. Returns -1 when no acceptable bank has space.
+func (e *Engine) freeSegmentAvoiding(home int, avoid func(bank int) bool) int {
+	geo := e.arr.Geometry()
+	check := func(idx int) int {
+		for _, seg := range e.parts[idx].segs {
+			if avoid(geo.BankOf(seg)) {
+				continue
+			}
+			if e.freePages(seg) > 0 {
+				return seg
+			}
+		}
+		return -1
+	}
+	if seg := check(home); seg >= 0 {
+		return seg
+	}
+	for dist := 1; dist < len(e.parts); dist++ {
+		for _, idx := range []int{home + dist, home - dist} {
+			if idx < 0 || idx >= len(e.parts) {
+				continue
+			}
+			if seg := check(idx); seg >= 0 {
+				return seg
+			}
+		}
+	}
+	return -1
+}
+
+// FlushAvoiding is Flush for the §6 bank-parallel path. When the home
+// partition's predicted target sits on a bank the caller rejects (one
+// already programming or erasing), the page is placed in the nearest
+// partition whose active segment sits on an acceptable bank and has
+// free space — trading a little locality for a concurrent program,
+// which is the §6 deal: outstanding pages go to several banks at once.
+// Falls back to plain Flush when no acceptable target exists (progress
+// beats placement).
+func (e *Engine) FlushAvoiding(logical uint32, home int, payload []byte, avoid func(bank int) bool) (ppn uint32, work []Step) {
+	if e.cfg.Kind != Hybrid {
+		avoid = nil
+	}
+	return e.flush(logical, home, payload, avoid)
 }
 
 // nextFree returns the first free page index in a segment. Allocation
@@ -458,6 +666,29 @@ func (e *Engine) greedyVictim() int {
 
 // flushTargetHybrid returns the home partition's active segment,
 // cleaning the partition's oldest segment (FIFO, §4.4) when full.
+// PeekFlushSegment predicts, without mutating anything, where a flush
+// homed at the given partition would land: the policy's current active
+// segment, or -1 if that segment is full and the flush would have to
+// clean first (the post-clean target depends on the spare rotation, so
+// it is not predictable for free). The §6 parallel flush path uses the
+// prediction to spread concurrent programs across banks.
+func (e *Engine) PeekFlushSegment(home int) int {
+	var seg int
+	if e.cfg.Kind == Greedy {
+		seg = e.active
+	} else {
+		if home < 0 || home >= len(e.parts) {
+			return -1
+		}
+		p := &e.parts[home]
+		seg = p.segs[len(p.segs)-1]
+	}
+	if e.freePages(seg) == 0 {
+		return -1
+	}
+	return seg
+}
+
 func (e *Engine) flushTargetHybrid(home int) int {
 	if home < 0 || home >= len(e.parts) {
 		panic(fmt.Sprintf("cleaner: flush with home partition %d out of range [0,%d)", home, len(e.parts)))
@@ -478,8 +709,39 @@ func (e *Engine) flushTargetHybrid(home int) int {
 			return seg
 		}
 	}
-	// Clean segments in FIFO order until space is recovered, at most
-	// one pass over the partition.
+	if seg := e.cleanPassHybrid(home); seg >= 0 {
+		return seg
+	}
+	// The whole partition is live: shed the incoming page itself to
+	// the nearest partition with room (redistribution drains the
+	// overfull partition across its next cleans).
+	if seg := e.nearestWithSpace(home); seg >= 0 {
+		return seg
+	}
+	// Transactions can push live data past the utilization target: a
+	// shadowed page keeps two Valid Flash copies at once (§6). If that
+	// coincides with every partition's active segment being full, space
+	// still exists wherever pages have been invalidated — clean the
+	// nearest partition holding any, however expensive the copy ratio.
+	for dist := 1; dist < len(e.parts); dist++ {
+		for _, idx := range []int{home + dist, home - dist} {
+			if idx < 0 || idx >= len(e.parts) {
+				continue
+			}
+			if seg := e.cleanPassHybrid(idx); seg >= 0 {
+				return seg
+			}
+		}
+	}
+	panic("cleaner: no free space anywhere (array overfull)")
+}
+
+// cleanPassHybrid cleans partition home's segments in FIFO order until
+// its active segment has free space, making at most one pass. Returns
+// the segment to flush into, or -1 if every member is fully live.
+func (e *Engine) cleanPassHybrid(home int) int {
+	p := &e.parts[home]
+	geo := e.arr.Geometry()
 	for range p.segs {
 		victim := p.segs[0]
 		if _, live, _ := e.arr.SegmentCounts(victim); live == geo.PagesPerSegment {
@@ -505,13 +767,7 @@ func (e *Engine) flushTargetHybrid(home int) int {
 			return active
 		}
 	}
-	// The whole partition is live: shed the incoming page itself to
-	// the nearest partition with room (redistribution drains the
-	// overfull partition across its next cleans).
-	if seg := e.nearestWithSpace(home); seg >= 0 {
-		return seg
-	}
-	panic("cleaner: no free space anywhere (array overfull)")
+	return -1
 }
 
 // nearestWithSpace finds the partition closest to home whose active

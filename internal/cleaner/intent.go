@@ -20,19 +20,22 @@ func (e *Engine) Intent() Intent { return e.intent }
 // RecoverIntent finishes the interrupted multi-step operation the
 // intent records, re-establishing the spare-segment invariant (§3.4),
 // and clears the intent. It returns the kind of operation recovered —
-// IntentNone means the crash did not interrupt the cleaner. Torn pages
-// left in the destination segments (the copies in flight) stay Torn;
-// the controller quarantines them afterwards.
-func (e *Engine) RecoverIntent() (IntentKind, error) {
+// IntentNone means the crash did not interrupt the cleaner — plus the
+// Flash work performed, so the mount path can replay it on the
+// simulated clock. Torn pages left in the destination segments (the
+// copies in flight) stay Torn; the controller quarantines them
+// afterwards.
+func (e *Engine) RecoverIntent() (IntentKind, []Step, error) {
 	in := e.intent
+	e.work = e.work[:0]
 	switch in.Kind {
 	case IntentNone:
-		return IntentNone, nil
+		return IntentNone, nil, nil
 	case IntentClean:
-		if err := e.finishCopyOut(in.Src, in.Dst); err != nil {
-			return in.Kind, err
+		if err := e.finishCopyOut(in.Src, in.Dst, false); err != nil {
+			return in.Kind, e.work, err
 		}
-		e.finishErase(in.Src)
+		e.finishErase(in.Src, false)
 		e.counters.SegmentCleans++
 		e.spare = in.Src
 		e.partOf[in.Src] = -1
@@ -43,7 +46,7 @@ func (e *Engine) RecoverIntent() (IntentKind, error) {
 		} else {
 			p := &e.parts[in.Home]
 			if len(p.segs) == 0 || p.segs[0] != in.Src {
-				return in.Kind, fmt.Errorf("cleaner: clean intent victim %d is not partition %d's oldest segment", in.Src, in.Home)
+				return in.Kind, e.work, fmt.Errorf("cleaner: clean intent victim %d is not partition %d's oldest segment", in.Src, in.Home)
 			}
 			copy(p.segs, p.segs[1:])
 			p.segs[len(p.segs)-1] = in.Dst
@@ -55,7 +58,7 @@ func (e *Engine) RecoverIntent() (IntentKind, error) {
 		// phase 1 (old -> spare), phase 2 (young -> old's now-erased
 		// place) never started and runs in full.
 		if err := e.finishRelocate(in.Src, in.Dst); err != nil {
-			return in.Kind, err
+			return in.Kind, e.work, err
 		}
 		if in.Phase == 1 {
 			e.relocate(in.Young, in.Old)
@@ -66,10 +69,10 @@ func (e *Engine) RecoverIntent() (IntentKind, error) {
 		e.lastWearCleans = e.counters.SegmentCleans
 		e.wearMark[in.Old] = e.arr.EraseCount(in.Old)
 	default:
-		return in.Kind, fmt.Errorf("cleaner: unknown intent kind %v", in.Kind)
+		return in.Kind, e.work, fmt.Errorf("cleaner: unknown intent kind %v", in.Kind)
 	}
 	e.intent = Intent{}
-	return in.Kind, nil
+	return in.Kind, e.work, nil
 }
 
 // finishCopyOut copies the live pages still in src (those whose copy
@@ -79,8 +82,8 @@ func (e *Engine) RecoverIntent() (IntentKind, error) {
 // destination by one page; the overflow goes to any other segment with
 // room. An interrupted *erase* leaves src with no live pages at all
 // (they were copied out before the erase began), so there is nothing
-// to do here.
-func (e *Engine) finishCopyOut(src, dst int) error {
+// to do here. wear tags the recorded steps as wear-swap work.
+func (e *Engine) finishCopyOut(src, dst int, wear bool) error {
 	geo := e.arr.Geometry()
 	type pick struct {
 		page    int
@@ -104,8 +107,21 @@ func (e *Engine) finishCopyOut(src, dst int) error {
 		e.arr.Invalidate(oldPPN)
 		e.remap(pk.logical, oldPPN, newPPN)
 		e.counters.CleanCopies++
+		e.noteStep(Step{Kind: StepCopy, Seg: target, Pages: 1, Wear: wear})
 	}
 	return nil
+}
+
+// noteStep appends one step to the work record, coalescing consecutive
+// copies into the same segment.
+func (e *Engine) noteStep(st Step) {
+	if n := len(e.work); n > 0 && st.Kind == StepCopy {
+		if last := &e.work[n-1]; last.Kind == StepCopy && last.Seg == st.Seg && last.Wear == st.Wear {
+			last.Pages += st.Pages
+			return
+		}
+	}
+	e.work = append(e.work, st)
 }
 
 // overflowTarget returns a segment with free space other than src (src
@@ -124,21 +140,22 @@ func (e *Engine) overflowTarget(src int) int {
 // fully free. A half-erased segment (the erase itself was the crash
 // point) is simply erased again — re-erasing is how the hardware
 // recovers an interrupted erase.
-func (e *Engine) finishErase(src int) {
+func (e *Engine) finishErase(src int, wear bool) {
 	if e.freePages(src) == e.arr.Geometry().PagesPerSegment && !e.arr.HalfErased(src) {
 		return
 	}
 	e.arr.Erase(src)
 	e.counters.Erases++
+	e.noteStep(Step{Kind: StepErase, Seg: src, Wear: wear})
 }
 
 // finishRelocate completes an interrupted relocate(src, dst): the
 // remaining copies, the erase of src, and the policy role transfer.
 func (e *Engine) finishRelocate(src, dst int) error {
-	if err := e.finishCopyOut(src, dst); err != nil {
+	if err := e.finishCopyOut(src, dst, true); err != nil {
 		return err
 	}
-	e.finishErase(src)
+	e.finishErase(src, true)
 	part := e.partOf[src]
 	e.partOf[dst] = part
 	e.partOf[src] = -1

@@ -284,17 +284,20 @@ func (e *Engine) levelWearOnce() bool {
 // completed clean; crash/recover cycles break that pacing (recovery's
 // re-erases add wear, and a run of interrupted cleans can skip several
 // opportunities), so the mount path swaps until the spread is back
-// within the threshold. It returns the number of swaps performed.
-// Termination: every swap retires its over-worn segment at a fresh
-// wear mark, and the iteration cap backstops pathological re-engagement.
+// within the threshold. It returns the number of swaps performed and
+// the Flash work done, so the mount path can replay it on the
+// simulated clock. Termination: every swap retires its over-worn
+// segment at a fresh wear mark, and the iteration cap backstops
+// pathological re-engagement.
 //
 // Call only with the array free of orphans and torn pages (after the
 // recovery sweeps): relocation remaps every live page it moves, which
 // must be unambiguous. Fault injection must be disarmed.
-func (e *Engine) LevelWearAtMount() int {
+func (e *Engine) LevelWearAtMount() (int, []Step) {
 	if e.cfg.WearThreshold <= 0 {
-		return 0
+		return 0, nil
 	}
+	e.work = e.work[:0]
 	swaps := 0
 	for i := 0; i < 2*e.arr.Geometry().Segments; i++ {
 		if !e.levelWearOnce() {
@@ -305,8 +308,7 @@ func (e *Engine) LevelWearAtMount() int {
 	// Mount swaps are not clean-funded; reset the credit ledger so the
 	// swaps above neither borrow from nor owe to normal-operation pacing.
 	e.lastWearCleans = e.counters.SegmentCleans
-	e.work = e.work[:0]
-	return swaps
+	return swaps, e.work
 }
 
 // relocate copies every live page of src into the erased segment dst,
@@ -328,11 +330,11 @@ func (e *Engine) relocate(src, dst int) {
 	})
 	if moved > 0 {
 		e.counters.CleanCopies += int64(moved)
-		e.work = append(e.work, Step{Kind: StepCopy, Seg: dst, Pages: moved})
+		e.work = append(e.work, Step{Kind: StepCopy, Seg: dst, Pages: moved, Wear: true})
 	}
 	e.arr.Erase(src)
 	e.counters.Erases++
-	e.work = append(e.work, Step{Kind: StepErase, Seg: src})
+	e.work = append(e.work, Step{Kind: StepErase, Seg: src, Wear: true})
 
 	// Transfer the policy role.
 	part := e.partOf[src]

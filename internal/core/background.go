@@ -4,40 +4,20 @@ import (
 	"fmt"
 
 	"envy/internal/cleaner"
+	"envy/internal/sched"
 	"envy/internal/sim"
+	"envy/internal/sram"
 	"envy/internal/stats"
 )
 
-// bgStep is one unit of background work: a stretch of controller time
-// charged to an activity, optionally completing with a callback. Steps
-// are preemptible anywhere: a host access suspends the head step, and
-// the controller pays ResumeDelay before continuing it (§3.4).
-type bgStep struct {
-	act       stats.Activity
-	remaining sim.Duration
-	suspended bool
-	done      func()
-}
+// Background work: draining the SRAM write buffer to Flash, and the
+// cleaning and erasing the drain forces. The timed execution lives in
+// internal/sched; this file translates controller events (buffer
+// crossing the high-water mark, a flush completing, cleaner work
+// returned by the engine) into scheduler operations.
 
-// bgState is the background work queue plus the point on the timeline
-// up to which background execution has been simulated.
-type bgState struct {
-	steps   []bgStep
-	pending int // flush tasks scheduled but not yet expanded
-	cursor  sim.Time
-}
-
-func (b *bgState) push(s bgStep) { b.steps = append(b.steps, s) }
-
-// suspend marks the in-flight step as interrupted by a host access.
-func (b *bgState) suspend() {
-	if len(b.steps) > 0 {
-		b.steps[0].suspended = true
-	}
-}
-
-// flushInFlight reports whether a flush task is currently expanded
-// into timed steps.
+// flushInFlight reports whether at least one flush task is currently
+// expanded into scheduled operations.
 func (d *Device) flushInFlight() bool { return len(d.flushPPN) > 0 }
 
 // highWater and lowWater are the flush trigger and drain floor in
@@ -54,53 +34,179 @@ func (d *Device) lowWater() int {
 // filled to the high-water mark (§3.2: "pages are flushed from the
 // buffer when their number exceeds a certain threshold").
 func (d *Device) maybeScheduleFlush() {
-	if d.buf.Len() >= d.highWater() && d.bg.pending == 0 && !d.flushInFlight() {
-		d.bg.pending++
+	if d.buf.Len() >= d.highWater() && d.flushPending == 0 && !d.flushInFlight() {
+		d.flushPending++
 	}
 }
 
-// expandFlush turns a pending flush task into timed steps. The space
-// bookkeeping happens eagerly here (the cleaner may clean segments and
-// relocate pages); the returned work is then played out on the clock.
-// Reports whether a flush was actually started.
+// expandPending is the scheduler's Expand hook: it turns pending flush
+// tasks into scheduled operations whenever the running set has a free
+// lane. With ParallelFlush above 1 it also tops the pipeline up to the
+// configured depth while the buffer is draining, so consecutive flush
+// programs land on distinct banks and genuinely overlap (§6) — per-bank
+// queue parallelism, not divided constants. Reports whether any flush
+// was started.
+func (d *Device) expandPending() bool {
+	progress := false
+	for d.flushPending > 0 {
+		if d.expandFlush() {
+			progress = true
+		}
+	}
+	// Keeping a full bank-set of flushes in flight beyond the lane count
+	// means that even when several targets share a bank (or a bank is
+	// tied up erasing), the picker still finds enough distinct banks to
+	// fill every flush lane.
+	for d.cfg.ParallelFlush > 1 &&
+		d.flushInFlight() && len(d.flushPPN) < d.cfg.ParallelFlush+d.cfg.Geometry.Banks &&
+		d.buf.Len() > d.lowWater() {
+		d.flushPending++
+		if !d.expandFlush() {
+			break
+		}
+		progress = true
+	}
+	return progress
+}
+
+// expandFlush turns one pending flush task into scheduled operations.
+// The space bookkeeping happens eagerly here (the cleaner may clean
+// segments and relocate pages); the returned work is then played out
+// on the clock by the scheduler. Reports whether a flush was actually
+// started.
 func (d *Device) expandFlush() bool {
-	d.bg.pending--
-	frame := d.buf.Oldest()
+	d.flushPending--
+	var frame *sram.Frame
+	if d.cfg.ParallelFlush > 1 {
+		frame = d.pickFlushFrame()
+	}
+	if frame == nil {
+		frame = d.buf.Oldest()
+	}
 	if frame == nil {
 		return false
 	}
 	frame.Flushing = true
 	lpn := frame.Logical
-	ppn, work := d.eng.Flush(lpn, frame.Home, frame.Data)
+	var ppn uint32
+	var work []cleaner.Step
+	if d.cfg.ParallelFlush > 1 {
+		depth := 1
+		if len(d.flushPPN) >= d.cfg.ParallelFlush {
+			depth = 2
+		}
+		avoid := func(bank int) bool { return d.bankOccupied(bank, depth) }
+		ppn, work = d.eng.FlushAvoiding(lpn, frame.Home, frame.Data, avoid)
+	} else {
+		ppn, work = d.eng.Flush(lpn, frame.Home, frame.Data)
+	}
 	d.flushPPN[lpn] = ppn
 
-	par := sim.Duration(d.cfg.ParallelFlush)
-	geo := d.cfg.Geometry
 	for _, st := range work {
-		switch st.Kind {
-		case cleaner.StepCopy:
-			per := d.arr.TransferTime() + d.arr.ProgramTime(st.Seg)
-			d.bg.push(bgStep{
-				act:       stats.Cleaning,
-				remaining: sim.Duration(st.Pages) * per / par,
-			})
-		case cleaner.StepErase:
-			d.bg.push(bgStep{
-				act:       stats.Erasing,
-				remaining: d.arr.EraseTime(st.Seg) / par,
-			})
-		default:
-			panic(fmt.Sprintf("core: unknown cleaner step kind %v", st.Kind))
-		}
+		d.enqueueStep(st)
 	}
-	destSeg, _ := geo.Split(ppn)
-	d.bg.push(bgStep{act: stats.Flushing, remaining: d.arr.TransferTime()})
-	d.bg.push(bgStep{
-		act:       stats.Flushing,
-		remaining: d.arr.ProgramTime(destSeg) / par,
-		done:      func() { d.finishFlush(lpn) },
+	destSeg, _ := d.cfg.Geometry.Split(ppn)
+	d.sched.Enqueue(&sched.Op{
+		Kind:      stats.OpFlush,
+		Act:       stats.Flushing,
+		Remaining: d.arr.TransferTime() + d.arr.ProgramTime(destSeg),
+		Bank:      d.cfg.Geometry.BankOf(destSeg),
+		Tag:       lpn,
+		Tagged:    true,
+		Done:      func() { d.finishFlush(lpn) },
 	})
 	return true
+}
+
+// bankOccupied reports whether bank already has depth in-flight
+// flushes or a running operation holds its claim — the banks a §6
+// concurrent flush placement should steer around. The first lane-count
+// placements use depth 1 (spread across as many banks as possible);
+// deeper pipeline top-ups use depth 2 (a successor queued behind each
+// programming bank, ready the instant it completes).
+func (d *Device) bankOccupied(bank, depth int) bool {
+	geo := d.cfg.Geometry
+	queued := 0
+	for _, ppn := range d.flushPPN {
+		seg, _ := geo.Split(ppn)
+		if geo.BankOf(seg) == bank {
+			if queued++; queued >= depth {
+				return true
+			}
+		}
+	}
+	return d.banks.Busy(bank)
+}
+
+// pickFlushFrame chooses the next frame to flush when bank programs
+// may overlap (§6): the oldest frame whose predicted flush target sits
+// on a bank that no in-flight flush is already programming and no
+// running operation occupies. With the hybrid policy each partition
+// keeps its own active segment, so a buffer holding a mix of homes can
+// feed every bank at once — this is where the per-bank queue overlap
+// actually comes from. Returns nil when every candidate collides or is
+// unpredictable; the caller falls back to plain FIFO (progress beats
+// placement).
+func (d *Device) pickFlushFrame() *sram.Frame {
+	geo := d.cfg.Geometry
+	// One pass over the in-flight set up front, so the per-frame test
+	// below is O(1) instead of rescanning it for every buffered frame.
+	occupied := make([]bool, geo.Banks)
+	for _, ppn := range d.flushPPN {
+		seg, _ := geo.Split(ppn)
+		occupied[geo.BankOf(seg)] = true
+	}
+	var found *sram.Frame
+	d.buf.Frames(func(f *sram.Frame) {
+		if found != nil || f.Flushing {
+			return
+		}
+		seg := d.eng.PeekFlushSegment(f.Home)
+		if seg < 0 {
+			return
+		}
+		bank := geo.BankOf(seg)
+		if occupied[bank] || d.banks.Busy(bank) {
+			return
+		}
+		found = f
+	})
+	return found
+}
+
+// enqueueStep converts one unit of cleaner work into a scheduler
+// operation on the bank that owns the touched segment. Wear-tagged
+// steps are accounted as wear-swap operations; the controller-time
+// activity stays Cleaning/Erasing either way (§5.3 buckets).
+func (d *Device) enqueueStep(st cleaner.Step) {
+	geo := d.cfg.Geometry
+	switch st.Kind {
+	case cleaner.StepCopy:
+		kind := stats.OpCleanCopy
+		if st.Wear {
+			kind = stats.OpWearSwap
+		}
+		per := d.arr.TransferTime() + d.arr.ProgramTime(st.Seg)
+		d.sched.Enqueue(&sched.Op{
+			Kind:      kind,
+			Act:       stats.Cleaning,
+			Remaining: sim.Duration(st.Pages) * per,
+			Bank:      geo.BankOf(st.Seg),
+		})
+	case cleaner.StepErase:
+		kind := stats.OpErase
+		if st.Wear {
+			kind = stats.OpWearSwap
+		}
+		d.sched.Enqueue(&sched.Op{
+			Kind:      kind,
+			Act:       stats.Erasing,
+			Remaining: d.arr.EraseTime(st.Seg),
+			Bank:      geo.BankOf(st.Seg),
+		})
+	default:
+		panic(fmt.Sprintf("core: unknown cleaner step kind %v", st.Kind))
+	}
 }
 
 // finishFlush completes a flush: the page table flips from SRAM to the
@@ -126,67 +232,8 @@ func (d *Device) finishFlush(lpn uint32) {
 		d.buf.Remove(frame)
 	}
 	// Keep draining while above the low-water mark.
-	if d.buf.Len() > d.lowWater() && d.bg.pending == 0 {
-		d.bg.pending++
-	}
-}
-
-// runBackground executes queued background work on the interval
-// [bg.cursor, until): resuming suspended steps after ResumeDelay,
-// expanding pending flush tasks, charging idle time when the queue is
-// empty.
-func (d *Device) runBackground(until sim.Time) {
-	b := &d.bg
-	if b.cursor < d.now {
-		b.cursor = d.now
-	}
-	for b.cursor < until {
-		if d.inj != nil {
-			// Time-triggered fault plans watch the background cursor
-			// too: an idle device reaches Plan.At here, so the next
-			// flash operation (e.g. an expanded flush) crashes.
-			d.inj.Tick(b.cursor)
-		}
-		if len(b.steps) == 0 {
-			if b.pending > 0 {
-				if d.expandFlush() {
-					continue
-				}
-				continue // task was a no-op; re-check queue/pending
-			}
-			d.breakdown.Add(stats.Idle, until.Sub(b.cursor))
-			b.cursor = until
-			return
-		}
-		step := &b.steps[0]
-		if step.suspended {
-			// Pay the full resume delay in one quiet stretch or stay
-			// suspended (§3.4: the controller waits a few microseconds
-			// to avoid spurious restarts during access bursts).
-			if until.Sub(b.cursor) < d.cfg.ResumeDelay {
-				d.breakdown.Add(stats.Idle, until.Sub(b.cursor))
-				b.cursor = until
-				return
-			}
-			d.breakdown.Add(stats.Idle, d.cfg.ResumeDelay)
-			b.cursor = b.cursor.Add(d.cfg.ResumeDelay)
-			step.suspended = false
-		}
-		run := step.remaining
-		if avail := until.Sub(b.cursor); run > avail {
-			run = avail
-		}
-		d.breakdown.Add(step.act, run)
-		b.cursor = b.cursor.Add(run)
-		step.remaining -= run
-		if step.remaining > 0 {
-			return // ran out of time mid-step; not suspended, just paused
-		}
-		done := step.done
-		b.steps = b.steps[1:]
-		if done != nil {
-			done()
-		}
+	if d.buf.Len() > d.lowWater() && d.flushPending == 0 {
+		d.flushPending++
 	}
 }
 
@@ -198,26 +245,49 @@ func (d *Device) runBackground(until sim.Time) {
 func (d *Device) waitForFrame() {
 	guard := 0
 	for d.buf.Full() {
-		if len(d.bg.steps) == 0 {
-			if d.bg.pending == 0 {
-				d.bg.pending++
+		if d.sched.Len() == 0 {
+			if d.flushPending == 0 {
+				d.flushPending++
 			}
-			if !d.expandFlush() {
+			if !d.expandPending() {
 				panic("core: write buffer full but nothing is flushable")
 			}
 		}
-		// Advance to the completion of the head step.
-		step := &d.bg.steps[0]
-		need := step.remaining
-		if step.suspended {
-			need += d.cfg.ResumeDelay
+		// Advance to the earliest completion in the running set.
+		need, ok := d.sched.NextCompletionIn()
+		if !ok {
+			panic("core: write buffer full but no background op is runnable")
 		}
-		d.runBackground(d.bg.cursor.Add(need))
+		d.sched.Run(d.now, d.sched.Cursor().Add(need))
 		if guard++; guard > 16*d.buf.Cap()+256 {
 			panic("core: waitForFrame made no progress")
 		}
 	}
-	if d.bg.cursor > d.now {
-		d.now = d.bg.cursor
+	if c := d.sched.Cursor(); c > d.now {
+		d.now = c
+	}
+}
+
+// ReplaySteps plays cleaner work that was performed eagerly outside
+// the normal flush path — mount-time recovery finishing an interrupted
+// operation, or re-leveling wear — out on the simulated clock. The
+// Flash mutations already happened; this charges the controller time
+// they physically took and runs them through the per-bank schedule.
+func (d *Device) ReplaySteps(work []cleaner.Step) {
+	if len(work) == 0 {
+		return
+	}
+	for _, st := range work {
+		d.enqueueStep(st)
+	}
+	for d.sched.Len() > 0 {
+		need, ok := d.sched.NextCompletionIn()
+		if !ok {
+			panic("core: replayed steps are not runnable")
+		}
+		d.sched.Run(d.now, d.sched.Cursor().Add(need))
+	}
+	if c := d.sched.Cursor(); c > d.now {
+		d.now = c
 	}
 }

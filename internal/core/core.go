@@ -25,11 +25,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"envy/internal/cleaner"
 	"envy/internal/fault"
 	"envy/internal/flash"
 	"envy/internal/pagetable"
+	"envy/internal/sched"
 	"envy/internal/sim"
 	"envy/internal/sram"
 	"envy/internal/stats"
@@ -149,6 +151,13 @@ func (c *Config) setDefaults() error {
 	if c.ParallelFlush > c.Geometry.Banks {
 		c.ParallelFlush = c.Geometry.Banks
 	}
+	if c.ParallelFlush > 1 && c.Cleaning.Kind == cleaner.Hybrid && c.Cleaning.BankStagger == 0 {
+		// Bank-parallel flushing needs flush targets on distinct
+		// banks; stagger the partitions' active segments across the
+		// array (see cleaner.Config.BankStagger). Single-lane
+		// controllers keep the legacy in-phase layout.
+		c.Cleaning.BankStagger = c.Geometry.Banks
+	}
 	if c.Cleaning.Kind == cleaner.Hybrid && c.Cleaning.PartitionSegments == 0 {
 		// The paper's simulated system groups 16 segments per
 		// partition (§4.4, §5.1).
@@ -184,8 +193,16 @@ type Device struct {
 	breakdown stats.Breakdown
 	readLat   stats.Latency
 	writeLat  stats.Latency
+	opStats   stats.OpStats
 
-	bg bgState
+	// banks tracks which Flash bank each in-flight background operation
+	// occupies; sched executes those operations over simulated time.
+	banks *flash.BankSet
+	sched *sched.Scheduler
+
+	// flushPending counts flush tasks scheduled but not yet expanded
+	// into operations.
+	flushPending int
 
 	// flushPPN records, for each logical page whose flush is in
 	// flight, where its eagerly programmed Flash copy currently lives
@@ -229,6 +246,26 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.banks = flash.NewBankSet(cfg.Geometry.Banks)
+	// One lane reproduces the paper's base controller (one background
+	// operation at a time). With ParallelFlush above 1, the banks run
+	// autonomously — every bank may host its own program or erase —
+	// while ParallelFlush bounds the flush programs in flight (§6).
+	lanes := 1
+	if cfg.ParallelFlush > 1 {
+		lanes = cfg.Geometry.Banks
+	}
+	d.sched = sched.New(lanes, cfg.ParallelFlush, cfg.ResumeDelay, d.banks, &d.breakdown, &d.opStats, sched.Hooks{
+		Expand: d.expandPending,
+		Tick: func(t sim.Time) {
+			// Time-triggered fault plans watch the background cursor
+			// too: an idle device reaches Plan.At here, so the next
+			// flash operation (e.g. an expanded flush) crashes.
+			if d.inj != nil {
+				d.inj.Tick(t)
+			}
+		},
+	})
 	if cfg.FaultPlan != nil {
 		d.ArmFault(*cfg.FaultPlan)
 	}
@@ -281,10 +318,10 @@ func (d *Device) catchCrash(errp *error) {
 // state (SRAM buffer, page table, cleaner intent) keeps whatever it
 // held; everything in flight stops:
 //
-//   - queued background steps vanish — their flash mutations already
-//     happened eagerly, except the in-flight flush programs, whose
-//     reservation targets are torn to the partially-programmed state
-//     the chips physically hold;
+//   - queued background operations vanish — their flash mutations
+//     already happened eagerly, except the in-flight flush programs,
+//     whose reservation targets are torn to the partially-programmed
+//     state the chips physically hold;
 //   - the volatile MMU translation cache is lost;
 //   - the clock stops where the failure happened.
 func (d *Device) latchCrash() {
@@ -292,16 +329,28 @@ func (d *Device) latchCrash() {
 		return
 	}
 	d.crashed = true
-	for _, ppn := range d.flushPPN {
+	for _, lpn := range sortedKeys(d.flushPPN) {
+		ppn := d.flushPPN[lpn]
 		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
 	}
 	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
-	d.bg.steps = nil
-	d.bg.pending = 0
-	if d.bg.cursor > d.now {
-		d.now = d.bg.cursor
+	if c := d.sched.Cursor(); c > d.now {
+		d.now = c
 	}
-	d.bg.cursor = d.now
+	d.sched.Reset(d.now)
+	d.flushPending = 0
+}
+
+// sortedKeys returns a map's logical-page keys in ascending order, so
+// every iteration over battery-backed records is deterministic —
+// randomized map order must never influence the simulated outcome.
+func sortedKeys[V any](m map[uint32]V) []uint32 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // CrashPowerCycle forces a power failure right now, independent of any
@@ -410,15 +459,25 @@ func (d *Device) Shadows(fn func(lpn uint32, hasFlash bool, ppn uint32)) {
 // BackgroundCursor returns the point on the timeline up to which
 // background work has been simulated. Between host operations it always
 // equals Now; the invariant checker asserts exactly that.
-func (d *Device) BackgroundCursor() sim.Time { return d.bg.cursor }
+func (d *Device) BackgroundCursor() sim.Time { return d.sched.Cursor() }
 
-// ResetStats zeroes counters, latency histograms and the time
-// breakdown — typically called after warm-up.
+// Scheduler exposes the background-operation scheduler for inspection
+// (invariant checking, per-op accounting). Callers must not enqueue or
+// run operations: the schedule is owned by the controller.
+func (d *Device) Scheduler() *sched.Scheduler { return d.sched }
+
+// OpStats returns a copy of the per-operation lifecycle counters
+// (starts, completions, suspensions, resumes, time in state).
+func (d *Device) OpStats() stats.OpStats { return d.opStats }
+
+// ResetStats zeroes counters, latency histograms, per-op lifecycle
+// counters and the time breakdown — typically called after warm-up.
 func (d *Device) ResetStats() {
 	d.counters.Reset()
 	d.breakdown.Reset()
 	d.readLat.Reset()
 	d.writeLat.Reset()
+	d.opStats.Reset()
 }
 
 // PowerCycle simulates a power failure and recovery. eNVy's state —
@@ -465,7 +524,7 @@ func (d *Device) AdvanceTo(t sim.Time) {
 		return
 	}
 	defer d.catchCrash(nil)
-	d.runBackground(t)
+	d.sched.Run(d.now, t)
 	d.now = t
 }
 
@@ -720,15 +779,15 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 }
 
 // completeAccess advances the clock past a host access, charging the
-// time to the given activity and suspending any in-flight long op.
+// time to the given activity and preempting any in-flight long ops
+// (§3.4: host accesses have absolute priority).
 func (d *Device) completeAccess(lat sim.Duration, act stats.Activity) {
 	if lat < 0 {
 		lat = 0
 	}
 	d.breakdown.Add(act, lat)
 	d.now = d.now.Add(lat)
-	d.bg.suspend()
-	d.bg.cursor = d.now
+	d.sched.Preempt(d.now)
 	if d.inj != nil {
 		d.inj.Tick(d.now)
 	}

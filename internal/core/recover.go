@@ -28,7 +28,8 @@ func (d *Device) RecoverFlushes() (discarded int, err error) {
 	if !d.crashed {
 		return 0, fmt.Errorf("core: RecoverFlushes on a device that is not crashed")
 	}
-	for lpn, ppn := range d.flushPPN {
+	for _, lpn := range sortedKeys(d.flushPPN) {
+		ppn := d.flushPPN[lpn]
 		frame := d.buf.Lookup(lpn)
 		if frame == nil {
 			return discarded, fmt.Errorf("core: flush reservation for page %d has no buffered frame", lpn)

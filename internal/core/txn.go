@@ -90,8 +90,8 @@ func (d *Device) Commit() error {
 	if !d.inTxn {
 		return fmt.Errorf("core: no transaction open")
 	}
-	for lpn, sh := range d.shadows {
-		if sh.hasFlash {
+	for _, lpn := range sortedKeys(d.shadows) {
+		if sh := d.shadows[lpn]; sh.hasFlash {
 			d.arr.Invalidate(sh.ppn)
 		}
 		delete(d.shadows, lpn)
@@ -118,7 +118,8 @@ func (d *Device) Rollback() (err error) {
 		return fmt.Errorf("core: no transaction open")
 	}
 	defer d.catchCrash(&err)
-	for lpn, sh := range d.shadows {
+	for _, lpn := range sortedKeys(d.shadows) {
+		sh := d.shadows[lpn]
 		switch {
 		case sh.hasFlash:
 			d.discardCurrent(lpn, sh.ppn)
@@ -145,7 +146,9 @@ func (d *Device) discardCurrent(lpn uint32, keep uint32) {
 		if frame.Flushing {
 			d.arr.Invalidate(d.flushPPN[lpn])
 			delete(d.flushPPN, lpn)
-			d.cancelFlushCallback()
+			if !d.sched.CancelDone(lpn) {
+				panic(fmt.Sprintf("core: cancelling flush of page %d with no scheduled program", lpn))
+			}
 			frame.Flushing = false
 			frame.Dirtied = false
 		}
@@ -189,18 +192,6 @@ func (d *Device) restorePreimage(lpn uint32, pre []byte) {
 	ppn, _ := d.eng.Flush(lpn, home, pre)
 	d.table.MapFlash(lpn, ppn)
 	d.mmu.Update(lpn)
-}
-
-// cancelFlushCallback removes the completion callback of the single
-// in-flight flush, whose outcome a rollback has already decided; its
-// remaining program time stays queued as plain work.
-func (d *Device) cancelFlushCallback() {
-	for i := range d.bg.steps {
-		if d.bg.steps[i].done != nil {
-			d.bg.steps[i].done = nil
-			return
-		}
-	}
 }
 
 // Preload writes data at addr directly into Flash, bypassing the write

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BenchRecord is one experiment's result in the machine-readable
+// benchmark output (BENCH_results.json): the headline metrics of a
+// figure or section, plus enough provenance — scale profile, seed,
+// wall time — to compare runs across machines and commits.
+//
+// WallSeconds is supplied by the caller: the experiments package
+// itself is simulated-time territory (the simtime analyzer bans the
+// wall clock here), so only drivers like cmd/experiments and the
+// benchmark harness may measure it.
+type BenchRecord struct {
+	Name        string             `json:"name"`
+	Scale       string             `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Metrics     map[string]float64 `json:"metrics"`
+	WallSeconds float64            `json:"wall_seconds"`
+}
+
+// WriteBenchJSON writes records as indented JSON in the order given
+// (run order). Metric keys marshal sorted, so output is byte-stable
+// for identical results.
+func WriteBenchJSON(w io.Writer, records []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// The *Metrics helpers flatten each experiment's result rows into the
+// flat metric map a BenchRecord carries. bench_test.go reports the
+// same values through testing.B.ReportMetric, so the JSON file and
+// `go test -bench` speak one vocabulary.
+
+// Fig6Metrics keys cleaning cost by utilization.
+func Fig6Metrics(rows []Fig6Row) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rows {
+		m[fmt.Sprintf("cost_u%.1f", r.Utilization)] = r.Measured
+		m[fmt.Sprintf("analytic_u%.1f", r.Utilization)] = r.Analytic
+	}
+	return m
+}
+
+// Fig8Metrics keys cleaning cost by policy and locality.
+func Fig8Metrics(rows []Fig8Row) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rows {
+		m["greedy_"+r.Locality] = r.Greedy
+		m["locgather_"+r.Locality] = r.LG
+		m["hybrid16_"+r.Locality] = r.Hybrid16
+		m["fifo_"+r.Locality] = r.FIFO
+	}
+	return m
+}
+
+// Fig9Metrics keys cleaning cost by partition size and locality.
+func Fig9Metrics(rows []Fig9Row) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rows {
+		for loc, cost := range r.Cost {
+			m[fmt.Sprintf("cost_p%d_%s", r.PartitionSegments, loc)] = cost
+		}
+	}
+	return m
+}
+
+// Fig10Metrics keys cleaning cost by segment count and locality.
+func Fig10Metrics(rows []Fig10Row) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rows {
+		for loc, cost := range r.Cost {
+			m[fmt.Sprintf("cost_s%d_%s", r.Segments, loc)] = cost
+		}
+	}
+	return m
+}
+
+// RateMetrics keys the TPC-A sweep (Figures 13 and 15) by offered
+// rate.
+func RateMetrics(pts []RatePoint) map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range pts {
+		prefix := fmt.Sprintf("offered%.0f_", p.Offered)
+		m[prefix+"tps"] = p.TPS
+		m[prefix+"read_ns"] = float64(p.ReadMean)
+		m[prefix+"write_ns"] = float64(p.WriteMean)
+		m[prefix+"cleaning_cost"] = p.CleaningCost
+	}
+	return m
+}
+
+// Fig14Metrics keys completed TPS by utilization and rate label.
+func Fig14Metrics(pts []UtilPoint, labels []string) map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range pts {
+		for _, label := range labels {
+			m[fmt.Sprintf("tps_u%.2f_%s", p.Utilization, label)] = p.TPS[label]
+		}
+	}
+	return m
+}
+
+// BreakdownMetrics reports the §5.3 controller-time split in percent.
+func BreakdownMetrics(r BreakdownResult) map[string]float64 {
+	return map[string]float64{
+		"tps":       r.TPS,
+		"read_pct":  r.Reading * 100,
+		"write_pct": r.Writing * 100,
+		"flush_pct": r.Flushing * 100,
+		"clean_pct": r.Cleaning * 100,
+		"erase_pct": r.Erasing * 100,
+		"idle_pct":  r.Idle * 100,
+	}
+}
+
+// LifetimeMetrics reports the §5.5 estimates in years.
+func LifetimeMetrics(r LifetimeResult) map[string]float64 {
+	return map[string]float64{
+		"measured_years": r.Measured.Years(),
+		"paper_years":    r.PaperFormula.Years(),
+		"tps":            r.MeasuredTPS,
+	}
+}
+
+// ParallelMetrics keys the §6 extension by concurrency level.
+func ParallelMetrics(pts []ParallelPoint) map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range pts {
+		prefix := fmt.Sprintf("banks%d_", p.ParallelFlush)
+		m[prefix+"flush_ns"] = float64(p.MeanFlushTime)
+		m[prefix+"tps"] = p.TPS
+		m[prefix+"write_ns"] = float64(p.WriteMean)
+	}
+	return m
+}
+
+// AblationMetrics keys each ablation by a slug of its name.
+func AblationMetrics(rows []AblationRow) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range rows {
+		slug := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '/' {
+				return r
+			}
+			return '_'
+		}, r.Name)
+		m[slug+"_with"] = r.With
+		m[slug+"_without"] = r.Without
+	}
+	return m
+}

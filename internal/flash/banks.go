@@ -1,0 +1,85 @@
+package flash
+
+import "fmt"
+
+// NoOwner is the owner value of an unclaimed bank.
+const NoOwner = int64(-1)
+
+// BankSet tracks which Flash banks are claimed by in-flight scheduled
+// operations. A bank serves one program or erase at a time (§6: banks
+// are the unit of parallelism), so an operation must hold its target
+// bank's claim while it is actively progressing and must release it
+// whenever it suspends — a suspended program or erase leaves the chips
+// free for other work.
+//
+// Claims are identified by an opaque owner token (the scheduler's
+// operation id). Misuse — claiming a busy bank, or releasing a bank
+// one does not own — panics: those are controller bugs, not
+// recoverable conditions.
+type BankSet struct {
+	owner []int64
+}
+
+// NewBankSet returns a claim tracker for banks banks.
+func NewBankSet(banks int) *BankSet {
+	if banks <= 0 {
+		panic(fmt.Sprintf("flash: BankSet needs at least one bank, got %d", banks))
+	}
+	s := &BankSet{owner: make([]int64, banks)}
+	for i := range s.owner {
+		s.owner[i] = NoOwner
+	}
+	return s
+}
+
+// Banks returns the number of banks tracked.
+func (s *BankSet) Banks() int { return len(s.owner) }
+
+// Busy reports whether bank is currently claimed.
+func (s *BankSet) Busy(bank int) bool { return s.owner[bank] != NoOwner }
+
+// Owner returns the owner token holding bank, or NoOwner.
+func (s *BankSet) Owner(bank int) int64 { return s.owner[bank] }
+
+// Claim marks bank as busy on behalf of owner. Claiming an
+// already-claimed bank panics, even for the same owner: claims are not
+// reentrant, and a double claim means the scheduler lost track of an
+// operation's state.
+func (s *BankSet) Claim(bank int, owner int64) {
+	if owner == NoOwner {
+		panic("flash: BankSet.Claim with NoOwner token")
+	}
+	if s.owner[bank] != NoOwner {
+		panic(fmt.Sprintf("flash: bank %d already claimed by op %d (op %d tried to claim it)",
+			bank, s.owner[bank], owner))
+	}
+	s.owner[bank] = owner
+}
+
+// Release frees bank, which must be held by owner.
+func (s *BankSet) Release(bank int, owner int64) {
+	if s.owner[bank] != owner {
+		panic(fmt.Sprintf("flash: bank %d held by op %d, not releasing op %d",
+			bank, s.owner[bank], owner))
+	}
+	s.owner[bank] = NoOwner
+}
+
+// Reset drops every claim (a power failure: whatever the chips were
+// doing is simply gone).
+func (s *BankSet) Reset() {
+	for i := range s.owner {
+		s.owner[i] = NoOwner
+	}
+}
+
+// InUse returns how many banks are currently claimed.
+func (s *BankSet) InUse() int {
+	n := 0
+	for _, o := range s.owner {
+		if o != NoOwner {
+			n++
+		}
+	}
+	return n
+}

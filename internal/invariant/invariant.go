@@ -47,6 +47,7 @@ import (
 	"envy/internal/flash"
 	"envy/internal/sim"
 	"envy/internal/sram"
+	"envy/internal/stats"
 )
 
 // wearSwapWindow is the slack allowed on top of WearThreshold for the
@@ -98,6 +99,17 @@ func CheckDevice(d *core.Device) error {
 	}
 	if cur, now := d.BackgroundCursor(), d.Now(); cur != now {
 		return fmt.Errorf("invariant: background cursor %v diverged from device clock %v", cur, now)
+	}
+	// Scheduler-side invariants: bank claims consistent with the queue,
+	// and the armed flush completions in one-to-one correspondence with
+	// the controller's in-flight flush reservations.
+	if err := d.Scheduler().SelfCheck(); err != nil {
+		return err
+	}
+	reservations := 0
+	d.FlushTargets(func(lpn, ppn uint32) { reservations++ })
+	if armed := d.Scheduler().PendingDone(stats.OpFlush); armed != reservations {
+		return fmt.Errorf("invariant: %d armed flush completions but %d flush reservations", armed, reservations)
 	}
 	return nil
 }

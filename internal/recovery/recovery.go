@@ -113,12 +113,13 @@ func Recover(d *core.Device) (Report, error) {
 	}
 	r.StrayFlushes = d.ClearStrayFlushing()
 
-	kind, err := d.Engine().RecoverIntent()
+	kind, work, err := d.Engine().RecoverIntent()
 	if err != nil {
 		return r, err
 	}
 	r.CleanFinished = kind == cleaner.IntentClean
 	r.WearSwapFinished = kind == cleaner.IntentWearSwap
+	d.ReplaySteps(work)
 
 	r.TornQuarantined = d.QuarantineTorn()
 	r.Orphans = d.SweepOrphans()
@@ -126,7 +127,9 @@ func Recover(d *core.Device) (Report, error) {
 	// With the array settled (no torn pages, no orphans, spare
 	// restored), bring the wear spread back within bound — crash
 	// recovery adds erases outside the leveler's normal pacing.
-	r.MountWearSwaps = d.Engine().LevelWearAtMount()
+	var mountWork []cleaner.Step
+	r.MountWearSwaps, mountWork = d.Engine().LevelWearAtMount()
+	d.ReplaySteps(mountWork)
 
 	d.ClearCrashed()
 	if d.InTransaction() {

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"envy/internal/sim"
+)
+
+// OpKind identifies a scheduled background operation type. These are
+// the §3.4 suspendable long operations, promoted to first-class values
+// by the internal/sched layer.
+type OpKind int
+
+// Background operation kinds.
+const (
+	OpFlush     OpKind = iota // write-buffer page program (transfer + program)
+	OpCleanCopy               // live-data copy batch during a segment clean
+	OpErase                   // segment erase
+	OpWearSwap                // relocation work done for a wear-leveling swap
+	NumOpKinds
+)
+
+// String returns the operation kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpFlush:
+		return "flush"
+	case OpCleanCopy:
+		return "clean-copy"
+	case OpErase:
+		return "erase"
+	case OpWearSwap:
+		return "wear-swap"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// OpCounters accumulates the lifecycle of one operation kind: how many
+// ops started and finished, how often they were suspended by host
+// accesses and resumed afterwards, and how much simulated time they
+// spent actually progressing (Active) versus parked mid-operation
+// (Suspended).
+type OpCounters struct {
+	Started     int64
+	Completed   int64
+	Suspensions int64
+	Resumes     int64
+	Active      sim.Duration
+	Suspended   sim.Duration
+}
+
+// Add accumulates other into c.
+func (c *OpCounters) Add(other OpCounters) {
+	c.Started += other.Started
+	c.Completed += other.Completed
+	c.Suspensions += other.Suspensions
+	c.Resumes += other.Resumes
+	c.Active += other.Active
+	c.Suspended += other.Suspended
+}
+
+// OpStats is the per-kind operation accounting for a device.
+type OpStats struct {
+	ops [NumOpKinds]OpCounters
+}
+
+// Get returns the counters for kind k.
+func (s *OpStats) Get(k OpKind) OpCounters {
+	if k < 0 || k >= NumOpKinds {
+		panic("stats: unknown op kind")
+	}
+	return s.ops[k]
+}
+
+// Counters returns a pointer to the counters for kind k, for the
+// scheduler to update in place.
+func (s *OpStats) Counters(k OpKind) *OpCounters {
+	if k < 0 || k >= NumOpKinds {
+		panic("stats: unknown op kind")
+	}
+	return &s.ops[k]
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	for k := range s.ops {
+		s.ops[k].Add(other.ops[k])
+	}
+}
+
+// Reset zeroes all per-op counters.
+func (s *OpStats) Reset() { *s = OpStats{} }
+
+// String renders one line per kind with any activity.
+func (s *OpStats) String() string {
+	parts := make([]string, 0, int(NumOpKinds))
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		c := s.ops[k]
+		if c.Started == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %d done/%d started, %d susp/%d res, active %dns, parked %dns",
+			k, c.Completed, c.Started, c.Suspensions, c.Resumes, int64(c.Active), int64(c.Suspended)))
+	}
+	if len(parts) == 0 {
+		return "(no background operations)"
+	}
+	return strings.Join(parts, "\n")
+}
