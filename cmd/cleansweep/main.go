@@ -18,6 +18,7 @@ import (
 	"envy/internal/flash"
 	"envy/internal/invariant"
 	"envy/internal/sim"
+	"envy/internal/stats"
 	"envy/internal/workload"
 )
 
@@ -111,6 +112,25 @@ func main() {
 	fmt.Printf("erases:          %d, wear swaps: %d\n", c.Erases, c.WearSwaps)
 	wmin, wmax := h.Array().WearSpread()
 	fmt.Printf("wear spread:     %d..%d erases per segment\n", wmin, wmax)
+	// Same block envysim prints, so the two tools read alike. The
+	// harness is untimed — every operation runs to completion the
+	// moment it is issued — so done always equals started and nothing
+	// is ever preempted mid-flight.
+	fmt.Printf("background ops:  kind  done/started  suspensions (§3.4; untimed harness, never preempted)\n")
+	for _, row := range []struct {
+		kind  stats.OpKind
+		count int64
+	}{
+		{stats.OpFlush, c.Flushes},
+		{stats.OpCleanCopy, c.CleanCopies},
+		{stats.OpErase, c.Erases},
+		{stats.OpWearSwap, c.WearSwaps},
+	} {
+		if row.count == 0 {
+			continue
+		}
+		fmt.Printf("                 %-11v %d/%d  %d\n", row.kind, row.count, row.count, 0)
+	}
 
 	if err := h.Engine().CheckInvariants(); err != nil {
 		log.Fatalf("invariant violation: %v", err)

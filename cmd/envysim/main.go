@@ -5,7 +5,8 @@
 // Example:
 //
 //	envysim -rate 8000 -seconds 1 -branches 2 -accounts 500
-//	envysim -paper -rate 30000 -seconds 2   # Figure 12 scale, ~2.5 GB RAM
+//	envysim -parallel 8 -depth 4 -rate 16000  # multi-outstanding hosts
+//	envysim -paper -rate 30000 -seconds 2     # Figure 12 scale, ~2.5 GB RAM
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		accounts  = flag.Int("accounts", 500, "accounts per teller (ignored with -paper)")
 		policy    = flag.String("policy", "hybrid", "cleaning policy: hybrid, lg, fifo, greedy")
 		parallel  = flag.Int("parallel", 1, "concurrent bank programs (§6 extension)")
+		depth     = flag.Int("depth", 1, "outstanding host requests (1 = the paper's single-outstanding host)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
 		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
@@ -87,7 +89,11 @@ func main() {
 	fmt.Printf("database: %d accounts, index depths branch=%d teller=%d account=%d\n",
 		bank.Accounts(), br, te, ac)
 
-	dr := tpca.NewDriver(bank)
+	if *depth < 1 {
+		log.Printf("depth must be at least 1, got %d", *depth)
+		os.Exit(2)
+	}
+	dr := tpca.NewDriverDepth(bank, *depth)
 	if _, err := dr.Run(*rate, sim.Duration(*warm*1e9)); err != nil {
 		log.Fatal(err)
 	}
@@ -111,6 +117,11 @@ func main() {
 	fmt.Printf("read latency:     mean %dns  p99 %dns\n", int64(res.ReadMean), int64(res.ReadP99))
 	fmt.Printf("write latency:    mean %dns  p99 %dns\n", int64(res.WriteMean), int64(res.WriteP99))
 	fmt.Printf("txn latency:      mean %.1fµs\n", res.TxnLatency.Mean().Micros())
+	if res.HostRequests > 0 {
+		fmt.Printf("host queue:       depth %d (mean %.2f), sojourn p50 %dns  p95 %dns  p99 %dns  max %dns\n",
+			*depth, res.HostMeanDepth,
+			int64(res.HostP50), int64(res.HostP95), int64(res.HostP99), int64(res.HostMax))
+	}
 	fmt.Printf("flush rate:       %.0f pages/s, cleaning cost %.2f\n", res.FlushPagesPerSec, res.CleaningCost)
 	b := res.Breakdown
 	fmt.Printf("controller time:  read %.0f%%  write %.0f%%  flush %.0f%%  clean %.0f%%  erase %.0f%%  idle %.0f%%\n",

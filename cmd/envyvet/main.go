@@ -1,5 +1,5 @@
 // Command envyvet runs the module's static-analysis suite (simtime,
-// flashstate, panicpolicy, exhaustive, schedstate — see
+// flashstate, panicpolicy, exhaustive, schedstate, shardlock — see
 // internal/analysis) in two modes.
 //
 // Standalone, for humans:

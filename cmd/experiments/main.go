@@ -7,7 +7,7 @@
 //
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
-// breakdown, lifetime, parallel, ablations.
+// breakdown, lifetime, parallel, hostdepth, ablations.
 //
 // -json additionally writes BENCH_results.json: one record per
 // experiment with its headline metrics, the scale profile, the seed,
@@ -175,6 +175,15 @@ func main() {
 		}
 		experiments.ParallelTable(pts).Print(out)
 		record("parallel", experiments.ParallelMetrics(pts), start)
+	}
+	if selected("hostdepth") {
+		start := time.Now()
+		pts, err := experiments.HostDepth(sc)
+		if err != nil {
+			fail("hostdepth", err)
+		}
+		experiments.HostDepthTable(pts).Print(out)
+		record("hostdepth", experiments.HostDepthMetrics(pts), start)
 	}
 	if selected("ablations") {
 		start := time.Now()

@@ -9,6 +9,7 @@ import (
 	"envy/internal/core"
 	"envy/internal/fault"
 	"envy/internal/flash"
+	"envy/internal/host"
 	"envy/internal/recovery"
 	"envy/internal/sim"
 	"envy/internal/stats"
@@ -86,6 +87,24 @@ type Config struct {
 	// ParallelFlush enables the §6 extension: up to this many
 	// concurrent bank programs/erases (default 1 = off).
 	ParallelFlush int
+
+	// HostQueueDepth is how many host requests may be outstanding at
+	// once through the Submit interface (default 1, the paper's
+	// single-outstanding model, §5.1). Above 1 the device runs in
+	// multi-outstanding mode: queued requests reorder within the
+	// ordering constraints (reads may pass reads; a write to a page
+	// fences all later accesses touching it), writes blocked on a full
+	// buffer defer behind serviceable reads, and a host access suspends
+	// only the Flash bank it touches instead of the whole controller.
+	// The synchronous access methods are unaffected.
+	HostQueueDepth int
+
+	// PageTableShards splits the page table into this many logical-page
+	// range shards, each behind its own lock, letting concurrent
+	// submitters translate in parallel without the device mutex.
+	// Sharding never changes simulated timing — results are
+	// bit-identical at any shard count. Default 1.
+	PageTableShards int
 
 	// Dataless drops page payload storage for timing-only studies;
 	// reads return zeros.
@@ -194,6 +213,7 @@ func (c Config) coreConfig() core.Config {
 		BufferPages:       c.BufferPages,
 		MMUEntries:        c.MMUEntries,
 		ParallelFlush:     c.ParallelFlush,
+		PageTableShards:   c.PageTableShards,
 		Dataless:          c.Dataless,
 	}
 	if c.FaultPlan != nil {
@@ -226,20 +246,42 @@ func (c Config) coreConfig() core.Config {
 // ownership of the transaction themselves, or unrelated writes will be
 // captured by (and roll back with) someone else's transaction.
 //
+// # Asynchronous requests
+//
+// Submit enqueues a Request into the bounded host queue
+// (Config.HostQueueDepth slots) and returns without servicing it;
+// completion is observed through Wait, the request's Done channel, or
+// an OnComplete callback. Request validation and the first page-table
+// translation happen outside the device mutex, against the sharded
+// page table (Config.PageTableShards) — concurrent submitters
+// translate in parallel. The synchronous access methods bypass the
+// queue: they execute immediately, ahead of anything queued, so
+// callers that need ordering against in-flight requests should Drain
+// (or Wait) first.
+//
 // Core bypasses the mutex; see its doc.
 type Device struct {
-	mu sync.Mutex
-	d  *core.Device
+	mu  sync.Mutex
+	d   *core.Device
+	eng *host.Engine
 }
 
 // New builds a device. Missing Config fields default to the paper's
 // parameters.
 func New(cfg Config) (*Device, error) {
+	if cfg.HostQueueDepth < 0 {
+		return nil, fmt.Errorf("envy: HostQueueDepth %d must be at least 1", cfg.HostQueueDepth)
+	}
 	d, err := core.New(cfg.coreConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &Device{d: d}, nil
+	depth := cfg.HostQueueDepth
+	if depth == 0 {
+		depth = 1
+	}
+	d.SetHostConcurrency(depth)
+	return &Device{d: d, eng: host.New(d, depth, d.Geometry().PageSize)}, nil
 }
 
 // Size returns the logical capacity in bytes (80% of the physical
@@ -258,11 +300,165 @@ func (dev *Device) Now() time.Duration {
 }
 
 // Idle advances the simulated clock by d with the host idle, letting
-// background flushing, cleaning, and erasing make progress.
+// background flushing, cleaning, and erasing make progress. Queued
+// requests are serviced first: an idle host drains its queue.
 func (dev *Device) Idle(d time.Duration) {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
-	dev.d.AdvanceTo(dev.d.Now().Add(sim.Duration(d)))
+	target := dev.d.Now().Add(sim.Duration(d))
+	dev.eng.RunUntil(target)
+	dev.d.AdvanceTo(target)
+}
+
+// PageState is where a request's first page lived at submission time —
+// a diagnostic snapshot taken during the lock-free pre-translation, so
+// it may be stale by the instant the request is serviced.
+type PageState int
+
+const (
+	// PageUnknown is the zero value: the request has not been submitted.
+	PageUnknown PageState = iota
+	// PageUnmapped: never written (reads return zeros).
+	PageUnmapped
+	// PageBuffered: current copy in the battery-backed SRAM buffer.
+	PageBuffered
+	// PageFlash: current copy in the Flash array.
+	PageFlash
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageUnknown:
+		return "unknown"
+	case PageUnmapped:
+		return "unmapped"
+	case PageBuffered:
+		return "buffered"
+	case PageFlash:
+		return "flash"
+	}
+	return fmt.Sprintf("PageState(%d)", int(s))
+}
+
+// Request is one asynchronous host access, issued with Submit and
+// completed through Wait, Done, or OnComplete. The caller fills Write,
+// Addr, Data (and optionally OnComplete); the device fills the rest at
+// completion. A Request is single-use: resubmitting one is an error.
+type Request struct {
+	Write bool
+	Addr  uint64
+	Data  []byte // read destination or write payload
+
+	// OnComplete, if non-nil, runs when the request completes, inside
+	// the device-driving call (Submit, Wait, Drain, or Idle of whichever
+	// goroutine's turn advanced the clock) and before Done is closed. It
+	// must not call back into the Device.
+	OnComplete func(*Request)
+
+	// Completion-filled fields, valid once Done is closed: timestamps on
+	// the simulated clock (offsets from device start), the sojourn
+	// latency (Completion − Arrival, queueing and stalls included), the
+	// access outcome, and where the first page lived at submission.
+	Arrival    time.Duration
+	Start      time.Duration
+	Completion time.Duration
+	Latency    time.Duration
+	Err        error
+	AtSubmit   PageState
+
+	inner *host.Request
+	done  chan struct{}
+}
+
+// Done returns a channel closed when the request completes; the
+// completion-filled fields are visible to any goroutine that observes
+// the close. It returns nil before Submit.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Submit validates r and enqueues it into the bounded host queue,
+// usually without servicing it — completion is observed through Wait,
+// Done, or OnComplete, and arrives when some later device call (Submit,
+// Wait, Drain, Idle) advances the simulation far enough. If the queue
+// is at capacity, Submit back-pressures: it blocks (in simulated time)
+// servicing requests until a slot frees.
+//
+// Validation and the first page-table translation run before the
+// device mutex is taken, against the sharded page table, so concurrent
+// submitters translate in parallel. A rejected request charges no
+// simulated time.
+//
+// At HostQueueDepth 1 the queue degenerates to the paper's
+// single-outstanding host: Submit services r synchronously and is
+// bit-identical to the corresponding *Err method.
+func (dev *Device) Submit(r *Request) error {
+	if r.inner != nil {
+		return fmt.Errorf("envy: Request resubmitted; requests are single-use")
+	}
+	// Outside dev.mu: CheckRange reads only immutable geometry, and the
+	// lookup takes one shard's read lock.
+	if err := dev.d.CheckRange(r.Addr, len(r.Data)); err != nil {
+		return err
+	}
+	page := uint32(r.Addr / uint64(dev.d.Geometry().PageSize))
+	switch loc, ok := dev.d.PageTable().Lookup(page); {
+	case !ok:
+		r.AtSubmit = PageUnmapped
+	case loc.InSRAM:
+		r.AtSubmit = PageBuffered
+	default:
+		r.AtSubmit = PageFlash
+	}
+	done := make(chan struct{})
+	inner := &host.Request{Write: r.Write, Addr: r.Addr, Data: r.Data}
+	inner.OnComplete = func(h *host.Request) {
+		r.Arrival = time.Duration(h.Arrival)
+		r.Start = time.Duration(h.Start)
+		r.Completion = time.Duration(h.Completion)
+		r.Latency = time.Duration(h.Latency())
+		r.Err = h.Err
+		if r.OnComplete != nil {
+			r.OnComplete(r)
+		}
+		close(done)
+	}
+	r.inner = inner
+	r.done = done
+
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.eng.Submit(inner)
+	return nil
+}
+
+// Wait drives the simulation until r completes and returns its access
+// outcome, or an error if r was never submitted.
+func (dev *Device) Wait(r *Request) error {
+	if r.inner == nil {
+		return fmt.Errorf("envy: Wait on a request that was never submitted")
+	}
+	dev.mu.Lock()
+	if !r.inner.Completed() {
+		dev.eng.ServeUntilDone(r.inner)
+	}
+	dev.mu.Unlock()
+	<-r.done
+	return r.Err
+}
+
+// Drain services every outstanding request, blocked writes included,
+// and returns once the host queue is empty.
+func (dev *Device) Drain() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.eng.Drain()
+}
+
+// Outstanding returns the number of submitted, not-yet-completed
+// requests.
+func (dev *Device) Outstanding() int {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.eng.Outstanding()
 }
 
 // ReadWord reads the 32-bit word at a 4-byte-aligned address and
@@ -500,6 +696,15 @@ type Stats struct {
 	// BufferedPages is the current write-buffer occupancy.
 	BufferedPages int
 
+	// Host queue measurements (Submit requests only; the synchronous
+	// access methods feed the Read*/Write* distributions above).
+	// Latencies are sojourn times — completion minus arrival, queueing
+	// and stalls included.
+	HostRequests                       int64
+	HostP50, HostP95, HostP99, HostMax time.Duration
+	HostMeanDepth                      float64
+	HostMaxDepth                       int
+
 	// Background operation lifecycles, by kind (§3.4 suspend/resume).
 	FlushOps     OpCounters
 	CleanCopyOps OpCounters
@@ -547,6 +752,7 @@ func (dev *Device) Stats() Stats {
 	ops := dev.d.OpStats()
 	b := dev.d.Breakdown()
 	rl, wl := dev.d.ReadLatency(), dev.d.WriteLatency()
+	hl := dev.eng.Latency()
 	wmin, wmax := dev.d.Array().WearSpread()
 	return Stats{
 		ReadMean:      time.Duration(rl.Mean()),
@@ -575,6 +781,13 @@ func (dev *Device) Stats() Stats {
 		WearMin:       wmin,
 		WearMax:       wmax,
 		BufferedPages: dev.d.BufferLen(),
+		HostRequests:  dev.eng.Served(),
+		HostP50:       time.Duration(hl.Percentile(50)),
+		HostP95:       time.Duration(hl.Percentile(95)),
+		HostP99:       time.Duration(hl.Percentile(99)),
+		HostMax:       time.Duration(hl.Max()),
+		HostMeanDepth: dev.eng.MeanDepth(),
+		HostMaxDepth:  dev.eng.MaxDepth(),
 		FlushOps:      opCounters(ops.Get(stats.OpFlush)),
 		CleanCopyOps:  opCounters(ops.Get(stats.OpCleanCopy)),
 		EraseOps:      opCounters(ops.Get(stats.OpErase)),
@@ -587,6 +800,7 @@ func (dev *Device) ResetStats() {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
 	dev.d.ResetStats()
+	dev.eng.ResetStats()
 }
 
 // CheckConsistency verifies the device's internal invariants and

@@ -2,8 +2,8 @@
 // the go/analysis model: an Analyzer inspects one type-checked package
 // and reports Diagnostics. It exists because this module vendors no
 // external tooling — the envyvet checkers (simtime, flashstate,
-// panicpolicy, exhaustive, schedstate) are built on it, and cmd/envyvet drives
-// them both standalone and under `go vet -vettool`.
+// panicpolicy, exhaustive, schedstate, shardlock) are built on it, and
+// cmd/envyvet drives them both standalone and under `go vet -vettool`.
 //
 // The deliberate differences from golang.org/x/tools/go/analysis:
 //
@@ -126,7 +126,7 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string
 
 // All returns the full envyvet suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate}
+	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate, Shardlock}
 }
 
 // SortDiagnostics orders diagnostics by file position for stable

@@ -186,7 +186,12 @@ func TestExhaustive(t *testing.T) {
 	runFixture(t, analysis.Exhaustive, "envy/internal/flash")    // declarations only: clean
 }
 
-// TestAll pins the suite contents: drivers and CI rely on these five.
+func TestShardlock(t *testing.T) {
+	runFixture(t, analysis.Shardlock, "envy/internal/pagetable") // ascending-order rules
+	runFixture(t, analysis.Shardlock, "envy/internal/sched")     // out of scope: clean
+}
+
+// TestAll pins the suite contents: drivers and CI rely on these six.
 func TestAll(t *testing.T) {
 	var names []string
 	for _, a := range analysis.All() {
@@ -194,7 +199,7 @@ func TestAll(t *testing.T) {
 	}
 	sort.Strings(names)
 	joined := strings.Join(names, " ")
-	if joined != "exhaustive flashstate panicpolicy schedstate simtime" {
+	if joined != "exhaustive flashstate panicpolicy schedstate shardlock simtime" {
 		t.Fatalf("analyzer suite = %q", joined)
 	}
 }

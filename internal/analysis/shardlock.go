@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Shardlock enforces the page table's deadlock discipline: code in
+// envy/internal/pagetable that acquires more than one shard lock must
+// do so in ascending shard order (the package doc promises exactly
+// that, and Range relies on it). Two lexical patterns cover the
+// realistic mistakes:
+//
+//   - a descending loop (a for statement whose post decrements) that
+//     acquires a shard lock in its body — the reversed sweep deadlocks
+//     against any concurrent ascending sweep;
+//
+//   - two constant-index shard locks taken out of order in one
+//     function body while the higher one is still held.
+//
+// Single-shard operations (Lookup, MapFlash, …) take one lock and are
+// never flagged; releasing the higher shard before taking the lower is
+// fine.
+var Shardlock = &Analyzer{
+	Name: "shardlock",
+	Doc: "require ascending shard-lock order in the page table\n\n" +
+		"In envy/internal/pagetable, shard locks must be acquired in\n" +
+		"ascending shard order: flag Lock/RLock calls on a sync mutex\n" +
+		"inside a descending for loop, and a constant-index shard lock\n" +
+		"taken while a higher-indexed shard lock is still held in the\n" +
+		"same function. This is the discipline that keeps concurrent\n" +
+		"multi-shard sweeps (Range, the invariant checker) deadlock-free.",
+	Run: runShardlock,
+}
+
+func runShardlock(pass *Pass) error {
+	if pass.Pkg.Path() != "envy/internal/pagetable" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDescendingLoops(pass, fn.Body)
+			checkConstantOrder(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkDescendingLoops flags shard-lock acquisitions inside loops that
+// walk backwards: `for i := n - 1; i >= 0; i--` over the shards cannot
+// honor ascending order.
+func checkDescendingLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Post == nil || !decrements(loop.Post) {
+			return true
+		}
+		ast.Inspect(loop.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			if mutexMethod(pass, sel) {
+				pass.Reportf(call.Pos(), "shardlock: shard lock acquired inside a descending loop; shard locks must be taken in ascending shard order")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkConstantOrder tracks constant-index shard locks lexically
+// through one function body and flags an acquisition whose index is
+// below one still held.
+func checkConstantOrder(pass *Pass, body *ast.BlockStmt) {
+	type acquisition struct {
+		idx int64
+		pos token.Pos
+	}
+	var held []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !mutexMethod(pass, sel) {
+			return true
+		}
+		idx, ok := shardIndex(pass, sel.X)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			for _, h := range held {
+				if idx < h.idx {
+					pass.Reportf(call.Pos(), "shardlock: shard %d locked while shard %d is still held; shard locks must be taken in ascending shard order", idx, h.idx)
+					break
+				}
+			}
+			held = append(held, acquisition{idx: idx, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			for i, h := range held {
+				if h.idx == idx {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// decrements reports whether a for-loop post statement moves its
+// variable downwards (i-- or i -= n).
+func decrements(post ast.Stmt) bool {
+	switch s := post.(type) {
+	case *ast.IncDecStmt:
+		return s.Tok == token.DEC
+	case *ast.AssignStmt:
+		return s.Tok == token.SUB_ASSIGN
+	}
+	return false
+}
+
+// mutexMethod reports whether sel names a method of sync.Mutex or
+// sync.RWMutex.
+func mutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// shardIndex extracts the constant shard index from a lock receiver of
+// the form shards[C].mu (or shards[C] when the mutex is the element
+// itself). Non-constant indices return ok=false: loops are covered by
+// the descending-loop rule instead.
+func shardIndex(pass *Pass, expr ast.Expr) (int64, bool) {
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		expr = sel.X
+	}
+	ie, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return 0, false
+	}
+	switch x := ie.X.(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "shards" {
+			return 0, false
+		}
+	case *ast.Ident:
+		if x.Name != "shards" {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[ie.Index]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,86 @@
+// Shardlock fixture: the sharded half of the pagetable stand-in.
+// Every multi-shard lock sequence here either follows the ascending
+// discipline (clean) or violates it (marked want).
+package pagetable
+
+import "sync"
+
+// tableShard mirrors the real table's per-range lock.
+type tableShard struct {
+	mu      sync.RWMutex
+	entries []uint32
+}
+
+// Sharded mirrors the range-sharded table.
+type Sharded struct {
+	shards []tableShard
+}
+
+// rangeAscending walks the shards forwards, the documented discipline.
+func (t *Sharded) rangeAscending() {
+	for si := range t.shards {
+		t.shards[si].mu.RLock()
+		_ = t.shards[si].entries
+		t.shards[si].mu.RUnlock()
+	}
+}
+
+// rangeDescending walks the shards backwards while locking them.
+func (t *Sharded) rangeDescending() {
+	for si := len(t.shards) - 1; si >= 0; si-- {
+		t.shards[si].mu.RLock() // want `shardlock: shard lock acquired inside a descending loop`
+		_ = t.shards[si].entries
+		t.shards[si].mu.RUnlock()
+	}
+}
+
+// countDown iterates backwards but never locks: clean.
+func (t *Sharded) countDown() int {
+	n := 0
+	for si := len(t.shards) - 1; si >= 0; si-- {
+		n += len(t.shards[si].entries)
+	}
+	return n
+}
+
+// pairAscending holds two shards in ascending order: clean.
+func (t *Sharded) pairAscending() {
+	t.shards[1].mu.Lock()
+	t.shards[2].mu.Lock()
+	t.shards[2].mu.Unlock()
+	t.shards[1].mu.Unlock()
+}
+
+// pairDescending takes shard 1 while shard 2 is still held.
+func (t *Sharded) pairDescending() {
+	t.shards[2].mu.Lock()
+	t.shards[1].mu.Lock() // want `shardlock: shard 1 locked while shard 2 is still held`
+	t.shards[1].mu.Unlock()
+	t.shards[2].mu.Unlock()
+}
+
+// releaseThenLower drops the higher shard before taking the lower
+// one — no two locks are ever held out of order: clean.
+func (t *Sharded) releaseThenLower() {
+	t.shards[3].mu.Lock()
+	t.shards[3].mu.Unlock()
+	t.shards[1].mu.Lock()
+	t.shards[1].mu.Unlock()
+}
+
+// readPair shows the read-lock variant of the violation.
+func (t *Sharded) readPair() {
+	t.shards[4].mu.RLock()
+	t.shards[0].mu.RLock() // want `shardlock: shard 0 locked while shard 4 is still held`
+	t.shards[0].mu.RUnlock()
+	t.shards[4].mu.RUnlock()
+}
+
+// suppressed documents the escape hatch for a deliberate exception.
+func (t *Sharded) suppressed() {
+	t.shards[2].mu.Lock()
+	//envyvet:allow shardlock
+	t.shards[0].mu.Lock()
+	t.shards[0].mu.Unlock()
+	t.shards[2].mu.Unlock()
+}

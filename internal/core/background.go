@@ -30,6 +30,20 @@ func (d *Device) lowWater() int {
 	return int(d.cfg.FlushLowWater * float64(d.buf.Cap()))
 }
 
+// drainFloor is the buffer level at which a flush burst stops topping
+// up. Single-outstanding hosts drain to the low-water mark: flushing
+// steals host time, so the hysteresis batches it. With multiple
+// outstanding requests flushes run through host windows for free, and
+// draining deep only evicts hot pages before they are rewritten —
+// costing the write absorption §5.2 depends on — so the burst stops at
+// the high-water mark instead, keeping the buffer as full as it can be.
+func (d *Device) drainFloor() int {
+	if d.hostConc > 1 {
+		return d.highWater()
+	}
+	return d.lowWater()
+}
+
 // maybeScheduleFlush queues a background flush when the buffer has
 // filled to the high-water mark (§3.2: "pages are flushed from the
 // buffer when their number exceeds a certain threshold").
@@ -59,7 +73,7 @@ func (d *Device) expandPending() bool {
 	// fill every flush lane.
 	for d.cfg.ParallelFlush > 1 &&
 		d.flushInFlight() && len(d.flushPPN) < d.cfg.ParallelFlush+d.cfg.Geometry.Banks &&
-		d.buf.Len() > d.lowWater() {
+		d.buf.Len() > d.drainFloor() {
 		d.flushPending++
 		if !d.expandFlush() {
 			break
@@ -135,6 +149,15 @@ func (d *Device) bankOccupied(bank, depth int) bool {
 			}
 		}
 	}
+	if d.hostConc > 1 {
+		// Multi-outstanding mode: host accesses overlap background work,
+		// so banks hold their claims straight through host windows and
+		// Busy is true for nearly every bank with any work at all.
+		// Steering around it would push flushes into distant partitions
+		// (FlushAvoiding's fallback), polluting locality for no gain;
+		// only the in-flight flush placements above matter here.
+		return false
+	}
 	return d.banks.Busy(bank)
 }
 
@@ -166,7 +189,7 @@ func (d *Device) pickFlushFrame() *sram.Frame {
 			return
 		}
 		bank := geo.BankOf(seg)
-		if occupied[bank] || d.banks.Busy(bank) {
+		if occupied[bank] || (d.hostConc == 1 && d.banks.Busy(bank)) {
 			return
 		}
 		found = f

@@ -94,6 +94,13 @@ type Config struct {
 	// Banks) operations overlap almost perfectly. Default 1 (off).
 	ParallelFlush int
 
+	// PageTableShards splits the page table into this many logical-page
+	// range shards, each behind its own lock, so concurrent host
+	// initiators (internal/host via envy.Device.Submit) can translate in
+	// parallel without the device mutex. Sharding is a wall-clock
+	// concern only — it never changes simulated timing. Default 1.
+	PageTableShards int
+
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
 
@@ -147,6 +154,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.ParallelFlush == 0 {
 		c.ParallelFlush = 1
+	}
+	if c.PageTableShards == 0 {
+		c.PageTableShards = 1
 	}
 	if c.ParallelFlush > c.Geometry.Banks {
 		c.ParallelFlush = c.Geometry.Banks
@@ -218,6 +228,12 @@ type Device struct {
 	// after a simulated power failure until recovery clears it.
 	inj     *fault.Injector
 	crashed bool
+
+	// hostConc is the host queue depth the device is driven at. Above 1
+	// (the multi-outstanding engine, internal/host) host accesses
+	// suspend only the Flash bank they touch; at 1 they park the whole
+	// controller, the paper's §3.4 model.
+	hostConc int
 }
 
 // New builds a Device from cfg (missing fields defaulted per Fig. 12).
@@ -237,7 +253,7 @@ func New(cfg Config) (*Device, error) {
 		cfg:      cfg,
 		arr:      arr,
 		buf:      sram.NewBuffer(cfg.BufferPages, cfg.Geometry.PageSize, cfg.Dataless),
-		table:    pagetable.New(cfg.Cleaning.LogicalPages),
+		table:    pagetable.NewSharded(cfg.Cleaning.LogicalPages, cfg.PageTableShards),
 		mmu:      pagetable.NewMMU(cfg.MMUEntries, cfg.PTLookup),
 		flushPPN: make(map[uint32]uint32),
 		shadows:  make(map[uint32]*shadow),
@@ -666,6 +682,7 @@ func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
 		return 0, &AccessError{Addr: addr, Len: len(p), Size: d.Size(), Boundary: true}
 	}
 	lat := d.translate(page)
+	bank := -1 // SRAM and unmapped accesses touch no Flash bank
 	loc, mapped := d.table.Lookup(page)
 	switch {
 	case !mapped:
@@ -685,6 +702,7 @@ func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
 		}
 	default:
 		lat += d.arr.ReadTime()
+		bank = d.bankOf(loc.PPN)
 		if data := d.arr.Page(loc.PPN); data != nil {
 			copy(p, data[off:])
 		} else {
@@ -694,7 +712,7 @@ func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
 		}
 	}
 	d.counters.HostReads++
-	d.completeAccess(lat, stats.Reading)
+	d.completeAccessOn(bank, lat, stats.Reading)
 	d.readLat.Record(lat)
 	return lat, nil
 }
@@ -725,8 +743,12 @@ func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
 		// the host is stuck behind), then pull the page into SRAM in
 		// one wide bank transfer.
 		d.waitForFrame()
+		srcBank := -1
+		if loc, ok := d.table.Lookup(page); ok && !loc.InSRAM {
+			srcBank = d.bankOf(loc.PPN)
+		}
 		frame = d.copyOnWrite(page)
-		d.completeAccess(d.arr.TransferTime(), stats.Writing)
+		d.completeAccessOn(srcBank, d.arr.TransferTime(), stats.Writing)
 	} else {
 		d.counters.BufferHits++
 		d.captureShadow(page, frame)
@@ -782,13 +804,118 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 // time to the given activity and preempting any in-flight long ops
 // (§3.4: host accesses have absolute priority).
 func (d *Device) completeAccess(lat sim.Duration, act stats.Activity) {
+	d.completeAccessOn(-1, lat, act)
+}
+
+// completeAccessOn is completeAccess for an access that occupies the
+// given Flash bank (-1: none — SRAM, unmapped, or pure translation
+// time). At host concurrency 1 the bank is irrelevant: every access
+// parks the whole controller, the paper's timing. Above 1 only the
+// touched bank's operations suspend and the other banks keep running
+// through the access window (sched.Overlap).
+func (d *Device) completeAccessOn(bank int, lat sim.Duration, act stats.Activity) {
 	if lat < 0 {
 		lat = 0
 	}
 	d.breakdown.Add(act, lat)
 	d.now = d.now.Add(lat)
-	d.sched.Preempt(d.now)
+	if d.hostConc > 1 {
+		d.sched.Overlap(bank, d.now)
+	} else {
+		d.sched.Preempt(d.now)
+	}
 	if d.inj != nil {
 		d.inj.Tick(d.now)
 	}
+}
+
+// bankOf returns the Flash bank owning a physical page.
+func (d *Device) bankOf(ppn uint32) int {
+	seg, _ := d.cfg.Geometry.Split(ppn)
+	return d.cfg.Geometry.BankOf(seg)
+}
+
+// SetHostConcurrency selects the host-access preemption model for the
+// device: n is the host queue depth it is driven at. Above 1 a host
+// access suspends only the bank it touches (see completeAccessOn); at
+// most 1 restores the single-outstanding §3.4 model. The host engine
+// (internal/host) sets this; it never changes mid-access.
+func (d *Device) SetHostConcurrency(n int) { d.hostConc = n }
+
+// HostConcurrency returns the configured host queue depth (minimum 1).
+func (d *Device) HostConcurrency() int {
+	if d.hostConc < 1 {
+		return 1
+	}
+	return d.hostConc
+}
+
+// CheckRange validates a host access range without charging time or
+// changing state, returning an *AccessError exactly as the *Err access
+// variants would. The host engine validates requests at submission.
+func (d *Device) CheckRange(addr uint64, n int) error {
+	_, err := d.checkAddr(addr, n)
+	return err
+}
+
+// WriteWouldBlock reports whether a host write of n bytes at addr
+// would hit the §5.4 buffer-full stall right now: the write buffer is
+// full and at least one page in the span is not already buffered, so a
+// copy-on-write would need a frame no flush has freed yet. No time is
+// charged and no state changes; the multi-outstanding host engine uses
+// this to defer blocked writes while it services other requests.
+func (d *Device) WriteWouldBlock(addr uint64, n int) bool {
+	if d.crashed || !d.buf.Full() {
+		return false
+	}
+	ps := uint64(d.cfg.Geometry.PageSize)
+	last := addr
+	if n > 0 {
+		last = addr + uint64(n) - 1
+	}
+	for page := addr / ps; page <= last/ps; page++ {
+		if d.buf.Lookup(uint32(page)) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RunBackgroundStep advances background work up to its next completion
+// — one bounded step of the §5.4 buffer-full stall, the same step
+// waitForFrame loops on. When limit is positive the clock never moves
+// past it (the step may then end before any completion). Reports
+// whether progress was made; false means nothing is runnable (or the
+// device is crashed, or the limit has been reached). The host engine
+// calls this to resolve blocked writes while keeping idle-window
+// semantics exact.
+func (d *Device) RunBackgroundStep(limit sim.Time) (progressed bool) {
+	if d.crashed {
+		return false
+	}
+	defer d.catchCrash(nil)
+	if d.sched.Len() == 0 {
+		if d.flushPending == 0 {
+			d.flushPending++
+		}
+		if !d.expandPending() {
+			return false
+		}
+	}
+	need, ok := d.sched.NextCompletionIn()
+	if !ok {
+		return false
+	}
+	until := d.sched.Cursor().Add(need)
+	if limit > 0 && until > limit {
+		until = limit
+	}
+	if until <= d.now {
+		return false
+	}
+	d.sched.Run(d.now, until)
+	if c := d.sched.Cursor(); c > d.now {
+		d.now = c
+	}
+	return true
 }

@@ -141,6 +141,22 @@ func ParallelMetrics(pts []ParallelPoint) map[string]float64 {
 	return m
 }
 
+// HostDepthMetrics keys the multi-outstanding host sweep by queue
+// depth.
+func HostDepthMetrics(pts []HostDepthPoint) map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range pts {
+		prefix := fmt.Sprintf("depth%d_", p.Depth)
+		m[prefix+"tps"] = p.TPS
+		m[prefix+"p50_ns"] = float64(p.P50)
+		m[prefix+"p95_ns"] = float64(p.P95)
+		m[prefix+"p99_ns"] = float64(p.P99)
+		m[prefix+"max_ns"] = float64(p.Max)
+		m[prefix+"mean_depth"] = p.MeanDepth
+	}
+	return m
+}
+
 // AblationMetrics keys each ablation by a slug of its name.
 func AblationMetrics(rows []AblationRow) map[string]float64 {
 	m := make(map[string]float64)

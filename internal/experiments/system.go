@@ -43,6 +43,12 @@ func newBank(sc Scale, mod func(*core.Config)) (*tpca.Bank, error) {
 // rate. Warm-up repeats until the flush path has engaged (or a cap),
 // so measured flush rates and cleaning costs reflect steady state.
 func runRate(sc Scale, rate float64, mod func(*core.Config)) (tpca.Results, error) {
+	return runRateDepth(sc, rate, 1, mod)
+}
+
+// runRateDepth is runRate with the driver issuing through a host queue
+// of the given depth (1 = the classic single-outstanding driver).
+func runRateDepth(sc Scale, rate float64, depth int, mod func(*core.Config)) (tpca.Results, error) {
 	bank, err := newBank(sc, mod)
 	if err != nil {
 		return tpca.Results{}, err
@@ -50,7 +56,7 @@ func runRate(sc Scale, rate float64, mod func(*core.Config)) (tpca.Results, erro
 	if sc.AgeWrites > 0 {
 		bank.Device().Churn(sc.AgeWrites, sc.Seed^0xa6e)
 	}
-	dr := tpca.NewDriver(bank)
+	dr := tpca.NewDriverDepth(bank, depth)
 	for chunk := 0; chunk < 10; chunk++ {
 		res, err := dr.Run(rate, sc.WarmTime)
 		if err != nil {

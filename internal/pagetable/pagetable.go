@@ -7,10 +7,20 @@
 // Flash mapped — the ~10% SRAM overhead the paper budgets. A logical
 // page resolves either to a physical Flash page or to the SRAM write
 // buffer (after a copy-on-write and before the flush).
+//
+// The table is sharded by contiguous logical-page range, each shard
+// behind its own read-write lock, so concurrent host initiators can
+// translate different regions in parallel without the device mutex.
+// Sharding is a wall-clock concern only: it never changes simulated
+// timing, so any shard count produces bit-identical results. Deadlock
+// discipline: code that acquires more than one shard lock must do so
+// in ascending shard order (enforced by the envyvet shardlock
+// analyzer).
 package pagetable
 
 import (
 	"fmt"
+	"sync"
 
 	"envy/internal/sim"
 )
@@ -32,34 +42,83 @@ type Location struct {
 	PPN    uint32 // physical Flash page, when !InSRAM
 }
 
-// Table maps logical page numbers to Locations.
-type Table struct {
+// shard is one contiguous logical-page range of the table with its own
+// lock.
+type shard struct {
+	mu      sync.RWMutex
 	entries []uint32
 }
 
-// New returns a table for n logical pages, all initially unmapped.
-func New(n int) *Table {
+// Table maps logical page numbers to Locations.
+type Table struct {
+	shards     []shard
+	shardPages int // logical pages per shard (last shard may be short)
+	n          int
+}
+
+// New returns a table for n logical pages, all initially unmapped, as
+// a single shard (the paper's hardware has one table).
+func New(n int) *Table { return NewSharded(n, 1) }
+
+// NewSharded returns a table for n logical pages split into the given
+// number of range shards. A non-positive or oversized shard count is
+// clamped.
+func NewSharded(n, shards int) *Table {
 	if n <= 0 {
 		panic(fmt.Sprintf("pagetable: need at least 1 logical page, got %d", n))
 	}
-	t := &Table{entries: make([]uint32, n)}
-	for i := range t.entries {
-		t.entries[i] = unmappedEntry
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	per := (n + shards - 1) / shards
+	t := &Table{shards: make([]shard, shards), shardPages: per, n: n}
+	left := n
+	for i := range t.shards {
+		size := per
+		if size > left {
+			size = left
+		}
+		left -= size
+		entries := make([]uint32, size)
+		for j := range entries {
+			entries[j] = unmappedEntry
+		}
+		t.shards[i].entries = entries
 	}
 	return t
 }
 
 // Len returns the number of logical pages.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.n }
+
+// Shards returns the number of range shards.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// ShardOf returns the shard index owning a logical page.
+func (t *Table) ShardOf(logical uint32) int { return int(logical) / t.shardPages }
+
+// locate returns the shard and intra-shard index for a logical page.
+func (t *Table) locate(logical uint32) (*shard, uint32) {
+	s := &t.shards[int(logical)/t.shardPages]
+	return s, logical % uint32(t.shardPages)
+}
 
 // SRAMBytes returns the battery-backed SRAM the table would occupy in
 // hardware, for the cost accounting in §3.3.
-func (t *Table) SRAMBytes() int64 { return int64(len(t.entries)) * EntryBytes }
+func (t *Table) SRAMBytes() int64 { return int64(t.n) * EntryBytes }
 
 // Lookup resolves a logical page. ok is false if the page has never
-// been mapped.
+// been mapped. Safe for concurrent use: it takes only the owning
+// shard's read lock, so initiators translating different ranges never
+// contend.
 func (t *Table) Lookup(logical uint32) (loc Location, ok bool) {
-	e := t.entries[logical]
+	s, i := t.locate(logical)
+	s.mu.RLock()
+	e := s.entries[i]
+	s.mu.RUnlock()
 	if e == unmappedEntry {
 		return Location{}, false
 	}
@@ -76,18 +135,53 @@ func (t *Table) MapFlash(logical, ppn uint32) {
 	if ppn&sramBit != 0 {
 		panic(fmt.Sprintf("pagetable: physical page %d overflows the entry encoding", ppn))
 	}
-	t.entries[logical] = ppn
+	s, i := t.locate(logical)
+	s.mu.Lock()
+	s.entries[i] = ppn
+	s.mu.Unlock()
 }
 
 // MapSRAM points a logical page at the write buffer.
 func (t *Table) MapSRAM(logical uint32) {
-	t.entries[logical] = sramBit
+	s, i := t.locate(logical)
+	s.mu.Lock()
+	s.entries[i] = sramBit
+	s.mu.Unlock()
 }
 
 // Unmap removes a logical page's mapping (used only by tests and by
 // TRIM-like maintenance; the paper's device never unmaps).
 func (t *Table) Unmap(logical uint32) {
-	t.entries[logical] = unmappedEntry
+	s, i := t.locate(logical)
+	s.mu.Lock()
+	s.entries[i] = unmappedEntry
+	s.mu.Unlock()
+}
+
+// Range calls fn for every logical page in ascending order, holding
+// each shard's read lock across its run of pages (one shard at a time,
+// in ascending shard order — the lock discipline the shardlock
+// analyzer enforces). Mutating the table from fn would self-deadlock;
+// Range is for read-only sweeps such as the invariant checker.
+func (t *Table) Range(fn func(logical uint32, loc Location, ok bool)) {
+	base := uint32(0)
+	for si := range t.shards {
+		s := &t.shards[si]
+		s.mu.RLock()
+		for i, e := range s.entries {
+			logical := base + uint32(i)
+			switch {
+			case e == unmappedEntry:
+				fn(logical, Location{}, false)
+			case e&sramBit != 0:
+				fn(logical, Location{InSRAM: true}, true)
+			default:
+				fn(logical, Location{PPN: e}, true)
+			}
+		}
+		s.mu.RUnlock()
+		base += uint32(len(s.entries))
+	}
 }
 
 // MMU is the translation cache (§5.1): "a memory management unit acts

@@ -35,6 +35,14 @@
 // once per pause, paid as idle time before the set continues — if the
 // quiet window is shorter than that, the controller stays parked.
 //
+// In the multi-outstanding host mode a host access instead calls
+// Overlap, which suspends only the ops on the accessed bank and lets
+// the rest keep running through the access window. Their progress is
+// charged per resource on top of the host's own charge for the same
+// wall time, so in that mode the breakdown total can exceed elapsed
+// time — fractions then compare resource busy-time rather than
+// wall-clock shares.
+//
 // Determinism: given the same op sequence and the same Run/Preempt
 // call sites, the schedule is a pure function of the queue — no maps,
 // no randomness, no wall clock.
@@ -329,6 +337,83 @@ func (s *Scheduler) completeFinished() {
 func (s *Scheduler) Preempt(now sim.Time) {
 	for _, op := range s.pick() {
 		s.suspendOp(op, now)
+	}
+	s.cursor = now
+}
+
+// Overlap advances the background timeline through a host access
+// ending at now, suspending only the operations that touch the
+// accessed bank (bank < 0 — an SRAM or unmapped access — suspends
+// nothing). This is the multi-outstanding host model: the host owns
+// the bus and one bank for the access window, while the other banks'
+// programs and erases keep running autonomously (§6 extended to the
+// host path). The single-outstanding model uses Preempt instead, which
+// parks the whole controller (§3.4).
+//
+// Ops parked on other banks resume autonomously: each resume pays the
+// §3.4 ResumeDelay as extra occupancy on the op's own bank (charged to
+// the op's activity), since the busy bus leaves no wall time to charge
+// it to as idle. No idle time is charged in the window (the wall time
+// is already charged to the host activity by the caller). Each
+// progressing op is charged its full progress, so in this mode the
+// breakdown counts per-resource busy time and its total can exceed
+// wall time — see the package comment on conservation.
+func (s *Scheduler) Overlap(bank int, now sim.Time) {
+	for s.cursor < now {
+		run := s.pick()
+		// Park ops on the accessed bank: the host owns those chips for
+		// this access. Parked ops on any other bank restart on their own,
+		// paying the resume delay out of their bank's time.
+		n := 0
+		for _, op := range run {
+			if bank >= 0 && op.Bank == bank {
+				s.suspendOp(op, s.cursor)
+				continue
+			}
+			if op.suspended {
+				op.suspended = false
+				op.Remaining += s.resumeDelay
+				c := s.ops.Counters(op.Kind)
+				c.Resumes++
+				c.Suspended += s.cursor.Sub(op.suspendedAt)
+			}
+			run[n] = op
+			n++
+		}
+		run = run[:n]
+		if len(run) == 0 {
+			break
+		}
+		for _, op := range run {
+			if !op.claimed {
+				s.banks.Claim(op.Bank, op.id)
+				op.claimed = true
+			}
+		}
+		zero := false
+		for _, op := range run {
+			if op.Remaining == 0 {
+				zero = true
+				break
+			}
+		}
+		if zero {
+			s.completeFinished()
+			continue
+		}
+		dt := now.Sub(s.cursor)
+		for _, op := range run {
+			if op.Remaining < dt {
+				dt = op.Remaining
+			}
+		}
+		for _, op := range run {
+			s.breakdown.Add(op.Act, dt)
+			s.ops.Counters(op.Kind).Active += dt
+			op.Remaining -= dt
+		}
+		s.cursor = s.cursor.Add(dt)
+		s.completeFinished()
 	}
 	s.cursor = now
 }

@@ -324,3 +324,99 @@ func TestTickHook(t *testing.T) {
 		}
 	}
 }
+
+func TestOverlapSuspendsOnlyAccessedBank(t *testing.T) {
+	f := newFixture(2, 4, Hooks{})
+	f.s.Enqueue(op(stats.OpFlush, stats.Flushing, 100, 0))
+	f.s.Enqueue(op(stats.OpFlush, stats.Flushing, 100, 1))
+	f.s.Run(0, 40) // both mid-flight, 60 remaining each
+
+	// Host access to bank 0 for 70 ns: the bank-0 flush suspends, the
+	// bank-1 flush progresses through the window and completes.
+	f.s.Overlap(0, sim.Time(0).Add(110))
+	c := f.os.Get(stats.OpFlush)
+	if c.Completed != 1 {
+		t.Fatalf("completed = %d, want 1 (bank-1 flush finishes inside the window)", c.Completed)
+	}
+	if c.Suspensions != 1 {
+		t.Errorf("suspensions = %d, want 1 (bank-0 flush only)", c.Suspensions)
+	}
+	if f.s.Cursor() != sim.Time(0).Add(110) {
+		t.Errorf("cursor = %v, want 110", f.s.Cursor())
+	}
+	// A later overlap window on another bank resumes the parked flush
+	// autonomously, adding the resume delay to its own remaining cost —
+	// 30 ns of window against 60+2000 ns leaves it incomplete.
+	f.s.Overlap(-1, sim.Time(0).Add(140))
+	c = f.os.Get(stats.OpFlush)
+	if c.Completed != 1 {
+		t.Fatalf("op with a pending resume delay completed inside a 30ns window (completed=%d)", c.Completed)
+	}
+	if c.Resumes != 1 {
+		t.Errorf("resumes = %d, want 1 (autonomous restart in the overlap window)", c.Resumes)
+	}
+	// A quiet window finishes the rest without a second resume.
+	f.s.Run(sim.Time(0).Add(140), sim.Time(0).Add(140+2000+100))
+	c = f.os.Get(stats.OpFlush)
+	if c.Completed != 2 || c.Resumes != 1 {
+		t.Errorf("after quiet window: %+v, want Completed=2 Resumes=1", c)
+	}
+}
+
+func TestOverlapBankMinusOneSuspendsNothing(t *testing.T) {
+	f := newFixture(2, 4, Hooks{})
+	f.s.Enqueue(op(stats.OpErase, stats.Erasing, 80, 2))
+	// SRAM access (bank -1): the erase runs straight through.
+	f.s.Overlap(-1, sim.Time(0).Add(100))
+	c := f.os.Get(stats.OpErase)
+	if c.Completed != 1 || c.Suspensions != 0 {
+		t.Errorf("erase counters = %+v, want Completed=1 Suspensions=0", c)
+	}
+	// The erase's 80 ns are charged on top of whatever the host was
+	// charged for the same window — per-resource accounting.
+	if got := f.bd.Get(stats.Erasing); got != 80 {
+		t.Errorf("erasing charge = %d, want 80", got)
+	}
+	if got := f.bd.Get(stats.Idle); got != 0 {
+		t.Errorf("idle charge = %d, want 0 (overlap windows charge no idle)", got)
+	}
+	if err := f.s.SelfCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapStartsQueuedOpMidWindow(t *testing.T) {
+	// Two ops on the same bank: the first completes mid-window and the
+	// second starts at that instant, still inside the host access.
+	f := newFixture(2, 4, Hooks{})
+	f.s.Enqueue(op(stats.OpCleanCopy, stats.Cleaning, 30, 1))
+	f.s.Enqueue(op(stats.OpErase, stats.Erasing, 50, 1))
+	f.s.Overlap(0, sim.Time(0).Add(100))
+	if got := f.os.Get(stats.OpCleanCopy).Completed; got != 1 {
+		t.Errorf("copy completed = %d, want 1", got)
+	}
+	if got := f.os.Get(stats.OpErase).Completed; got != 1 {
+		t.Errorf("erase completed = %d, want 1 (successor started mid-window)", got)
+	}
+	if f.s.Len() != 0 {
+		t.Errorf("%d ops left", f.s.Len())
+	}
+}
+
+func TestDepthGauge(t *testing.T) {
+	var g stats.DepthGauge
+	at := func(ns int64) sim.Time { return sim.Time(0).Add(sim.Duration(ns)) }
+	g.Set(at(0), 1)
+	g.Set(at(100), 3) // depth 1 for 100 ns
+	g.Set(at(200), 0) // depth 3 for 100 ns
+	if got := g.Mean(at(400)); got != (1*100.0+3*100.0)/400.0 {
+		t.Errorf("Mean = %v, want 1.0", got)
+	}
+	if g.Max() != 3 {
+		t.Errorf("Max = %d, want 3", g.Max())
+	}
+	g.Reset()
+	if g.Mean(at(500)) != 0 || g.Max() != 0 {
+		t.Error("Reset did not clear the gauge")
+	}
+}

@@ -300,3 +300,54 @@ func (d *Distribution) Summary() (min, max int64, mean, stddev float64) {
 	stddev = math.Sqrt(sq / float64(len(sorted)))
 	return min, max, mean, stddev
 }
+
+// DepthGauge tracks a time-weighted queue-depth statistic on the
+// simulated clock: the host engine feeds it every queue-length change
+// and reads back the mean outstanding depth and the high-water mark.
+type DepthGauge struct {
+	started  bool
+	start    sim.Time
+	last     sim.Time
+	depth    int
+	max      int
+	integral float64 // depth-nanoseconds
+}
+
+// Set records that the tracked depth is d as of now. Calls must carry
+// a non-decreasing clock.
+func (g *DepthGauge) Set(now sim.Time, d int) {
+	if !g.started {
+		g.started = true
+		g.start = now
+	} else if now.Sub(g.last) > 0 {
+		g.integral += float64(g.depth) * float64(now.Sub(g.last))
+	}
+	g.last = now
+	g.depth = d
+	if d > g.max {
+		g.max = d
+	}
+}
+
+// Mean returns the time-weighted mean depth from the first Set through
+// now. Zero observations give zero.
+func (g *DepthGauge) Mean(now sim.Time) float64 {
+	if !g.started {
+		return 0
+	}
+	integral := g.integral
+	if now.Sub(g.last) > 0 {
+		integral += float64(g.depth) * float64(now.Sub(g.last))
+	}
+	elapsed := float64(now.Sub(g.start))
+	if elapsed <= 0 {
+		return float64(g.depth)
+	}
+	return integral / elapsed
+}
+
+// Max returns the largest depth ever Set.
+func (g *DepthGauge) Max() int { return g.max }
+
+// Reset clears the gauge.
+func (g *DepthGauge) Reset() { *g = DepthGauge{} }

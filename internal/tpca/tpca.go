@@ -18,6 +18,7 @@ import (
 
 	"envy/internal/btree"
 	"envy/internal/core"
+	"envy/internal/host"
 	"envy/internal/sim"
 	"envy/internal/stats"
 )
@@ -198,9 +199,36 @@ func (b *Bank) addBalance(recordAddr uint64, delta int64) {
 	b.dev.Write(buf[:], recordAddr)
 }
 
+// addBalanceVia is addBalance through a multi-outstanding host queue:
+// the read is submitted and waited for (the engine's write fence
+// guarantees it observes any still-queued write to the record), the
+// write is submitted without waiting — a blocked buffer defers it
+// behind the next transaction's reads instead of stalling the host.
+func (b *Bank) addBalanceVia(eng *host.Engine, recordAddr uint64, delta int64) error {
+	r := &host.Request{Addr: recordAddr, Data: make([]byte, 8)}
+	eng.Submit(r)
+	eng.ServeUntilDone(r)
+	if r.Err != nil {
+		return r.Err
+	}
+	v := int64(binary.LittleEndian.Uint64(r.Data)) + delta
+	w := &host.Request{Write: true, Addr: recordAddr, Data: make([]byte, 8)}
+	binary.LittleEndian.PutUint64(w.Data, uint64(v))
+	eng.Submit(w)
+	return nil
+}
+
 // Transaction executes one TPC-A transaction against account id
 // (1-based): three index searches, three balance updates.
 func (b *Bank) Transaction(account int, delta int64) error {
+	return b.transactionVia(nil, account, delta)
+}
+
+// transactionVia runs one transaction, routing the balance updates
+// through eng when non-nil. Index searches stay synchronous either
+// way: transactions never write tree pages, so tree reads need no
+// fencing against queued record writes.
+func (b *Bank) transactionVia(eng *host.Engine, account int, delta int64) error {
 	teller := (account-1)/b.cfg.AccountsPerTeller + 1
 	branch := (teller-1)/TellersPerBranch + 1
 
@@ -216,10 +244,19 @@ func (b *Bank) Transaction(account int, delta int64) error {
 	if !ok {
 		return fmt.Errorf("tpca: branch %d not indexed", branch)
 	}
-	b.addBalance(accountAddr, delta)
-	b.addBalance(tellerAddr, delta)
-	b.addBalance(branchAddr, delta)
-	return nil
+	if eng == nil {
+		b.addBalance(accountAddr, delta)
+		b.addBalance(tellerAddr, delta)
+		b.addBalance(branchAddr, delta)
+		return nil
+	}
+	if err := b.addBalanceVia(eng, accountAddr, delta); err != nil {
+		return err
+	}
+	if err := b.addBalanceVia(eng, tellerAddr, delta); err != nil {
+		return err
+	}
+	return b.addBalanceVia(eng, branchAddr, delta)
 }
 
 // RecordAddrs resolves the record addresses for an account id, for
@@ -250,17 +287,36 @@ type Results struct {
 
 	FlushPagesPerSec float64
 	CleaningCost     float64
+
+	// Host-queue sojourn latencies of the balance-record accesses, when
+	// the driver was built with NewDriverDepth (zero otherwise).
+	HostRequests                       int64
+	HostP50, HostP95, HostP99, HostMax sim.Duration
+	HostMeanDepth                      float64
 }
 
 // Driver paces transactions at a mean arrival rate against a Bank.
 type Driver struct {
 	bank *Bank
 	rng  *sim.RNG
+	eng  *host.Engine // nil: the single-outstanding legacy path
 }
 
 // NewDriver returns a driver using the bank's config seed.
 func NewDriver(bank *Bank) *Driver {
 	return &Driver{bank: bank, rng: sim.NewRNG(bank.cfg.Seed ^ 0x7043412d41)}
+}
+
+// NewDriverDepth returns a driver issuing balance updates through a
+// host queue of the given depth. At depth 1 the queue services every
+// request synchronously through the classic path — results are
+// bit-identical to NewDriver, with the sojourn histograms filled in;
+// above 1 the device also switches to bank-aware suspension.
+func NewDriverDepth(bank *Bank, depth int) *Driver {
+	dr := NewDriver(bank)
+	bank.dev.SetHostConcurrency(depth)
+	dr.eng = host.New(bank.dev, depth, bank.dev.Geometry().PageSize)
+	return dr
 }
 
 // Run offers transactions at rate TPS (exponential inter-arrival) for
@@ -270,6 +326,9 @@ func NewDriver(bank *Bank) *Driver {
 func (dr *Driver) Run(rate float64, duration sim.Duration) (Results, error) {
 	dev := dr.bank.dev
 	dev.ResetStats()
+	if dr.eng != nil {
+		dr.eng.ResetStats()
+	}
 	res := Results{Offered: rate, Duration: duration}
 	start := dev.Now()
 	end := start.Add(duration)
@@ -278,16 +337,23 @@ func (dr *Driver) Run(rate float64, duration sim.Duration) (Results, error) {
 	arrival := start.Add(dr.rng.Exp(mean))
 	for arrival < end {
 		if arrival > dev.Now() {
+			// An idle gap services queued writes before background work.
+			if dr.eng != nil {
+				dr.eng.RunUntil(arrival)
+			}
 			dev.AdvanceTo(arrival)
 		}
 		account := dr.rng.Intn(dr.bank.accounts) + 1
 		delta := int64(dr.rng.Intn(1999)) - 999
-		if err := dr.bank.Transaction(account, delta); err != nil {
+		if err := dr.bank.transactionVia(dr.eng, account, delta); err != nil {
 			return res, err
 		}
 		res.TxnLatency.Record(dev.Now().Sub(arrival))
 		res.Completed++
 		arrival = arrival.Add(dr.rng.Exp(mean))
+	}
+	if dr.eng != nil {
+		dr.eng.Drain()
 	}
 	if end > dev.Now() {
 		dev.AdvanceTo(end)
@@ -302,5 +368,14 @@ func (dr *Driver) Run(rate float64, duration sim.Duration) (Results, error) {
 	res.Breakdown = dev.Breakdown()
 	res.FlushPagesPerSec = float64(res.Counters.Flushes) / elapsed.Seconds()
 	res.CleaningCost = res.Counters.CleaningCost()
+	if dr.eng != nil {
+		hl := dr.eng.Latency()
+		res.HostRequests = dr.eng.Served()
+		res.HostP50 = hl.Percentile(50)
+		res.HostP95 = hl.Percentile(95)
+		res.HostP99 = hl.Percentile(99)
+		res.HostMax = hl.Max()
+		res.HostMeanDepth = dr.eng.MeanDepth()
+	}
 	return res, nil
 }
