@@ -6,6 +6,8 @@
 //
 //	envysim -rate 8000 -seconds 1 -branches 2 -accounts 500
 //	envysim -parallel 8 -depth 4 -rate 16000  # multi-outstanding hosts
+//	envysim -parallel 8 -depth 16 -lanes -rate 30000  # lock-decomposed parallel service
+//	envysim -parallel 8 -depth 16 -adaptive -rate 30000  # adaptive queue depth
 //	envysim -paper -rate 30000 -seconds 2     # Figure 12 scale, ~2.5 GB RAM
 package main
 
@@ -39,6 +41,8 @@ func main() {
 		policy    = flag.String("policy", "hybrid", "cleaning policy: hybrid, lg, fifo, greedy")
 		parallel  = flag.Int("parallel", 1, "concurrent bank programs (§6 extension)")
 		depth     = flag.Int("depth", 1, "outstanding host requests (1 = the paper's single-outstanding host)")
+		lanes     = flag.Bool("lanes", false, "lock-decomposed parallel host service: disjoint-footprint requests run on concurrent execution lanes")
+		adaptive  = flag.Bool("adaptive", false, "adapt the effective host queue depth to the observed suspension rate")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
 		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
@@ -73,6 +77,13 @@ func main() {
 		cfg.Cleaning.WearThreshold = 100
 	}
 	cfg.ParallelFlush = *parallel
+	if *lanes {
+		// Four page-table shards per bank: shard locks are admission-time
+		// resources, not timed hardware, so finer sharding costs nothing on
+		// the simulated clock and admits more disjoint-footprint batches.
+		cfg.ParallelService = true
+		cfg.PageTableShards = 4 * cfg.Geometry.Banks
+	}
 
 	dev, err := core.New(cfg)
 	if err != nil {
@@ -93,7 +104,15 @@ func main() {
 		log.Printf("depth must be at least 1, got %d", *depth)
 		os.Exit(2)
 	}
-	dr := tpca.NewDriverDepth(bank, *depth)
+	var dr *tpca.Driver
+	switch {
+	case *lanes:
+		dr = tpca.NewDriverParallel(bank, *depth)
+	case *adaptive:
+		dr = tpca.NewDriverAdaptive(bank, *depth)
+	default:
+		dr = tpca.NewDriverDepth(bank, *depth)
+	}
 	if _, err := dr.Run(*rate, sim.Duration(*warm*1e9)); err != nil {
 		log.Fatal(err)
 	}
@@ -121,6 +140,14 @@ func main() {
 		fmt.Printf("host queue:       depth %d (mean %.2f), sojourn p50 %dns  p95 %dns  p99 %dns  max %dns\n",
 			*depth, res.HostMeanDepth,
 			int64(res.HostP50), int64(res.HostP95), int64(res.HostP99), int64(res.HostMax))
+	}
+	if *lanes && res.HostBatches > 0 {
+		fmt.Printf("parallel service: %d batches, %d requests batched, max batch %d, clean/flush overlap %dns\n",
+			res.HostBatches, res.HostBatched, res.HostMaxBatch, int64(res.FlushCleanOverlap))
+	}
+	if *adaptive {
+		fmt.Printf("adaptive depth:   effective %d of %d (%d suspensions observed)\n",
+			res.HostEffectiveDepth, *depth, res.Suspensions)
 	}
 	fmt.Printf("flush rate:       %.0f pages/s, cleaning cost %.2f\n", res.FlushPagesPerSec, res.CleaningCost)
 	b := res.Breakdown

@@ -7,7 +7,8 @@
 //
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
-// breakdown, lifetime, parallel, hostdepth, ablations.
+// breakdown, lifetime, parallel, hostdepth, parhost, parwall,
+// ablations.
 //
 // -json additionally writes BENCH_results.json: one record per
 // experiment with its headline metrics, the scale profile, the seed,
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"envy/internal/experiments"
@@ -184,6 +186,50 @@ func main() {
 		}
 		experiments.HostDepthTable(pts).Print(out)
 		record("hostdepth", experiments.HostDepthMetrics(pts), start)
+	}
+	if selected("parhost") {
+		start := time.Now()
+		pts, err := experiments.ParallelHost(sc)
+		if err != nil {
+			fail("parhost", err)
+		}
+		experiments.ParallelHostTable(pts).Print(out)
+		record("parhost", experiments.ParallelHostMetrics(pts), start)
+	}
+	if selected("parwall") {
+		// Wall-clock scaling of the lock-decomposed service: one prepared
+		// rig, driven at several GOMAXPROCS settings. The wall clock lives
+		// here in the driver (simulated-time code never reads it); num_cpu
+		// is recorded because wall scaling is bounded by the machine —
+		// GOMAXPROCS above the core count cannot speed anything up.
+		start := time.Now()
+		rig, err := experiments.ParallelWallPrepare(sc)
+		if err != nil {
+			fail("parwall", err)
+		}
+		metrics := map[string]float64{"num_cpu": float64(runtime.NumCPU())}
+		t := experiments.Table{
+			Title:  "parallel host service: wall-clock scaling",
+			Note:   fmt.Sprintf("%d disjoint read lanes; host machine has %d CPU(s)", rig.Lanes(), runtime.NumCPU()),
+			Header: []string{"GOMAXPROCS", "wall seconds", "requests", "MB read"},
+		}
+		for _, procs := range []int{1, 4, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			driveStart := time.Now()
+			w, err := rig.Drive(experiments.ParallelWallRounds)
+			wall := time.Since(driveStart).Seconds()
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				fail("parwall", err)
+			}
+			metrics[fmt.Sprintf("gomaxprocs%d_wall_seconds", procs)] = wall
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", procs), fmt.Sprintf("%.3f", wall),
+				fmt.Sprintf("%d", w.Requests), fmt.Sprintf("%.1f", float64(w.BytesRead)/(1<<20)),
+			})
+		}
+		t.Print(out)
+		record("parwall", metrics, start)
 	}
 	if selected("ablations") {
 		start := time.Now()

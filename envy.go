@@ -102,9 +102,30 @@ type Config struct {
 	// PageTableShards splits the page table into this many logical-page
 	// range shards, each behind its own lock, letting concurrent
 	// submitters translate in parallel without the device mutex.
-	// Sharding never changes simulated timing — results are
-	// bit-identical at any shard count. Default 1.
+	// Without ParallelService, sharding never changes simulated timing —
+	// results are bit-identical at any shard count. Default 1.
 	PageTableShards int
+
+	// ParallelService enables the lock-decomposed parallel host service
+	// path for Submit requests: the engine admits batches of queued
+	// requests whose resource footprints (page-table shards + Flash
+	// banks) are disjoint and executes them concurrently on real OS
+	// threads, each batch starting at a shared simulated base time and
+	// merging deterministically. Requires HostQueueDepth > 1 to have any
+	// effect; PageTableShards and ParallelFlush should be raised toward
+	// the bank count for real wins. Changes the simulated timing of
+	// multi-outstanding runs (batched requests genuinely overlap);
+	// results remain bit-identical for a given submission order at any
+	// GOMAXPROCS. Default off.
+	ParallelService bool
+
+	// AdaptiveDepth enables the host-queue depth controller: the engine
+	// throttles its effective admission depth within [1, HostQueueDepth]
+	// against the observed background-operation suspension rate (§3.4
+	// churn — the reason a depth-16 queue loses to depth 4 at
+	// saturation). Deterministic: the controller reads only simulated
+	// state. Default off.
+	AdaptiveDepth bool
 
 	// Dataless drops page payload storage for timing-only studies;
 	// reads return zeros.
@@ -214,6 +235,7 @@ func (c Config) coreConfig() core.Config {
 		MMUEntries:        c.MMUEntries,
 		ParallelFlush:     c.ParallelFlush,
 		PageTableShards:   c.PageTableShards,
+		ParallelService:   c.ParallelService,
 		Dataless:          c.Dataless,
 	}
 	if c.FaultPlan != nil {
@@ -238,6 +260,18 @@ func (c Config) coreConfig() core.Config {
 // mutex admits next. Aggregate operations (Read, Write, Stats,
 // Recover) are atomic as a whole: no other caller's access interleaves
 // inside them.
+//
+// With Config.ParallelService, the device-driving call that services
+// the queue fans admitted batches out to worker goroutines internally
+// (core.ExecBatch), but the public memory model is unchanged: the
+// device mutex is held across the whole batch, the internal lanes only
+// touch state their resource footprints cover, and they join before
+// the driving call returns. Externally observable ordering is still
+// the sequentially consistent admission order; what changes is the
+// simulated timing (batched requests overlap on the device clock, the
+// way independent banks overlap in §6) and the wall-clock throughput,
+// which now scales with GOMAXPROCS. For a fixed submission order the
+// simulation is bit-identical at any GOMAXPROCS setting.
 //
 // The transaction (§6) is device-wide state, not per-caller — exactly
 // one may be open at a time, and Begin/Commit/Rollback from different
@@ -281,7 +315,14 @@ func New(cfg Config) (*Device, error) {
 		depth = 1
 	}
 	d.SetHostConcurrency(depth)
-	return &Device{d: d, eng: host.New(d, depth, d.Geometry().PageSize)}, nil
+	eng := host.New(d, depth, d.Geometry().PageSize)
+	if cfg.ParallelService {
+		eng.SetParallel(d)
+	}
+	if cfg.AdaptiveDepth {
+		eng.EnableAdaptive()
+	}
+	return &Device{d: d, eng: eng}, nil
 }
 
 // Size returns the logical capacity in bytes (80% of the physical
@@ -705,6 +746,27 @@ type Stats struct {
 	HostMeanDepth                      float64
 	HostMaxDepth                       int
 
+	// HostEffectiveDepth is the admission depth the engine currently
+	// back-pressures at: HostQueueDepth normally, the adaptive
+	// controller's throttled depth under Config.AdaptiveDepth.
+	// HostMinEffectiveDepth is the deepest throttle the controller
+	// reached so far — the controller relaxes as churn subsides, so the
+	// instantaneous depth alone hides how far it stepped down.
+	HostEffectiveDepth    int
+	HostMinEffectiveDepth int
+
+	// Parallel service batch accounting (Config.ParallelService):
+	// dispatched batches, requests serviced inside them, and the
+	// largest batch.
+	HostBatches         int64
+	HostBatchedRequests int64
+	HostMaxBatch        int
+
+	// FlushCleanOverlap is simulated time during which a flush program
+	// and a cleaning copy were progressing concurrently on distinct
+	// banks (the §6 cleaner-acceleration overlap).
+	FlushCleanOverlap time.Duration
+
 	// Background operation lifecycles, by kind (§3.4 suspend/resume).
 	FlushOps     OpCounters
 	CleanCopyOps OpCounters
@@ -755,43 +817,49 @@ func (dev *Device) Stats() Stats {
 	hl := dev.eng.Latency()
 	wmin, wmax := dev.d.Array().WearSpread()
 	return Stats{
-		ReadMean:      time.Duration(rl.Mean()),
-		WriteMean:     time.Duration(wl.Mean()),
-		ReadP99:       time.Duration(rl.Percentile(99)),
-		WriteP99:      time.Duration(wl.Percentile(99)),
-		ReadMax:       time.Duration(rl.Max()),
-		WriteMax:      time.Duration(wl.Max()),
-		Reads:         c.HostReads,
-		Writes:        c.HostWrites,
-		CopyOnWrites:  c.CopyOnWrites,
-		BufferHits:    c.BufferHits,
-		Flushes:       c.Flushes,
-		CleanCopies:   c.CleanCopies,
-		SegmentCleans: c.SegmentCleans,
-		Erases:        c.Erases,
-		WearSwaps:     c.WearSwaps,
-		CleaningCost:  c.CleaningCost(),
-		FracIdle:      b.Fraction(stats.Idle),
-		FracReading:   b.Fraction(stats.Reading),
-		FracWriting:   b.Fraction(stats.Writing),
-		FracFlushing:  b.Fraction(stats.Flushing),
-		FracCleaning:  b.Fraction(stats.Cleaning),
-		FracErase:     b.Fraction(stats.Erasing),
-		MMUHitRate:    dev.d.MMUHitRate(),
-		WearMin:       wmin,
-		WearMax:       wmax,
-		BufferedPages: dev.d.BufferLen(),
-		HostRequests:  dev.eng.Served(),
-		HostP50:       time.Duration(hl.Percentile(50)),
-		HostP95:       time.Duration(hl.Percentile(95)),
-		HostP99:       time.Duration(hl.Percentile(99)),
-		HostMax:       time.Duration(hl.Max()),
-		HostMeanDepth: dev.eng.MeanDepth(),
-		HostMaxDepth:  dev.eng.MaxDepth(),
-		FlushOps:      opCounters(ops.Get(stats.OpFlush)),
-		CleanCopyOps:  opCounters(ops.Get(stats.OpCleanCopy)),
-		EraseOps:      opCounters(ops.Get(stats.OpErase)),
-		WearSwapOps:   opCounters(ops.Get(stats.OpWearSwap)),
+		ReadMean:              time.Duration(rl.Mean()),
+		WriteMean:             time.Duration(wl.Mean()),
+		ReadP99:               time.Duration(rl.Percentile(99)),
+		WriteP99:              time.Duration(wl.Percentile(99)),
+		ReadMax:               time.Duration(rl.Max()),
+		WriteMax:              time.Duration(wl.Max()),
+		Reads:                 c.HostReads,
+		Writes:                c.HostWrites,
+		CopyOnWrites:          c.CopyOnWrites,
+		BufferHits:            c.BufferHits,
+		Flushes:               c.Flushes,
+		CleanCopies:           c.CleanCopies,
+		SegmentCleans:         c.SegmentCleans,
+		Erases:                c.Erases,
+		WearSwaps:             c.WearSwaps,
+		CleaningCost:          c.CleaningCost(),
+		FracIdle:              b.Fraction(stats.Idle),
+		FracReading:           b.Fraction(stats.Reading),
+		FracWriting:           b.Fraction(stats.Writing),
+		FracFlushing:          b.Fraction(stats.Flushing),
+		FracCleaning:          b.Fraction(stats.Cleaning),
+		FracErase:             b.Fraction(stats.Erasing),
+		MMUHitRate:            dev.d.MMUHitRate(),
+		WearMin:               wmin,
+		WearMax:               wmax,
+		BufferedPages:         dev.d.BufferLen(),
+		HostRequests:          dev.eng.Served(),
+		HostP50:               time.Duration(hl.Percentile(50)),
+		HostP95:               time.Duration(hl.Percentile(95)),
+		HostP99:               time.Duration(hl.Percentile(99)),
+		HostMax:               time.Duration(hl.Max()),
+		HostMeanDepth:         dev.eng.MeanDepth(),
+		HostMaxDepth:          dev.eng.MaxDepth(),
+		HostEffectiveDepth:    dev.eng.EffectiveDepth(),
+		HostMinEffectiveDepth: dev.eng.MinEffectiveDepth(),
+		HostBatches:           dev.eng.Batches(),
+		HostBatchedRequests:   dev.eng.BatchedRequests(),
+		HostMaxBatch:          dev.eng.MaxBatch(),
+		FlushCleanOverlap:     time.Duration(ops.FlushCleanOverlap()),
+		FlushOps:              opCounters(ops.Get(stats.OpFlush)),
+		CleanCopyOps:          opCounters(ops.Get(stats.OpCleanCopy)),
+		EraseOps:              opCounters(ops.Get(stats.OpErase)),
+		WearSwapOps:           opCounters(ops.Get(stats.OpWearSwap)),
 	}
 }
 

@@ -126,7 +126,7 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string
 
 // All returns the full envyvet suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate, Shardlock}
+	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate, Shardlock, Banklock}
 }
 
 // SortDiagnostics orders diagnostics by file position for stable

@@ -191,7 +191,12 @@ func TestShardlock(t *testing.T) {
 	runFixture(t, analysis.Shardlock, "envy/internal/sched")     // out of scope: clean
 }
 
-// TestAll pins the suite contents: drivers and CI rely on these six.
+func TestBanklock(t *testing.T) {
+	runFixture(t, analysis.Banklock, "envy/internal/rlock")     // canonical-order rules
+	runFixture(t, analysis.Banklock, "envy/internal/pagetable") // out of scope: clean
+}
+
+// TestAll pins the suite contents: drivers and CI rely on these seven.
 func TestAll(t *testing.T) {
 	var names []string
 	for _, a := range analysis.All() {
@@ -199,7 +204,7 @@ func TestAll(t *testing.T) {
 	}
 	sort.Strings(names)
 	joined := strings.Join(names, " ")
-	if joined != "exhaustive flashstate panicpolicy schedstate shardlock simtime" {
+	if joined != "banklock exhaustive flashstate panicpolicy schedstate shardlock simtime" {
 		t.Fatalf("analyzer suite = %q", joined)
 	}
 }

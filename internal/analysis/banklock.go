@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// Banklock enforces the resource lock table's deadlock discipline: code
+// in envy/internal/rlock acquires locks in the canonical total order —
+// page-table shard locks in ascending shard order, then Flash bank
+// locks in ascending bank order (the package doc promises exactly that,
+// and Table.Lock relies on it to stay deadlock-free). A sibling of the
+// pagetable shardlock analyzer, covering the same lexical mistakes plus
+// the cross-class rule the two-level order adds:
+//
+//   - a descending loop (a for statement whose post decrements) that
+//     acquires a shard or bank lock in its body — the reversed sweep
+//     deadlocks against any concurrent canonical sweep;
+//
+//   - two constant-index locks of the same class taken out of order in
+//     one function body while the higher one is still held;
+//
+//   - a shard lock taken while any bank lock is still held — shards
+//     come strictly before banks in the canonical order.
+//
+// Single-resource acquisitions are never flagged; releasing the later
+// resource before taking the earlier one is fine.
+var Banklock = &Analyzer{
+	Name: "banklock",
+	Doc: "require the canonical resource-lock order in the rlock table\n\n" +
+		"In envy/internal/rlock, locks must be acquired in the canonical\n" +
+		"order: page-table shards ascending, then banks ascending. Flag\n" +
+		"Lock/RLock calls on a sync mutex inside a descending for loop, a\n" +
+		"constant-index shard or bank lock taken while a higher-indexed\n" +
+		"lock of the same class is still held, and a shard lock taken\n" +
+		"while any bank lock is still held. This is the discipline that\n" +
+		"keeps concurrent multi-footprint acquisitions (the parallel host\n" +
+		"service's execution lanes) deadlock-free.",
+	Run: runBanklock,
+}
+
+func runBanklock(pass *Pass) error {
+	if pass.Pkg.Path() != "envy/internal/rlock" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBanklockLoops(pass, fn.Body)
+			checkBanklockOrder(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// resourceClass orders the two lock classes: every shard comes before
+// every bank in the canonical order.
+type resourceClass int
+
+const (
+	shardClass resourceClass = iota
+	bankClass
+)
+
+func (c resourceClass) String() string {
+	if c == shardClass {
+		return "shard"
+	}
+	return "bank"
+}
+
+// checkBanklockLoops flags shard- or bank-lock acquisitions inside
+// loops that walk backwards: `for i := n - 1; i >= 0; i--` over either
+// resource slice cannot honor ascending order.
+func checkBanklockLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Post == nil || !decrements(loop.Post) {
+			return true
+		}
+		ast.Inspect(loop.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			if !mutexMethod(pass, sel) {
+				return true
+			}
+			if class, ok := resourceClassOf(sel.X); ok {
+				pass.Reportf(call.Pos(), "banklock: %s lock acquired inside a descending loop; resource locks must be taken in ascending order", class)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkBanklockOrder tracks constant-index resource locks lexically
+// through one function body and flags an acquisition that precedes one
+// still held in the canonical order: a lower index of the same class,
+// or any shard while a bank is held.
+func checkBanklockOrder(pass *Pass, body *ast.BlockStmt) {
+	type acquisition struct {
+		class resourceClass
+		idx   int64
+		pos   token.Pos
+	}
+	var held []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !mutexMethod(pass, sel) {
+			return true
+		}
+		class, idx, ok := resourceIndex(pass, sel.X)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			for _, h := range held {
+				switch {
+				case class == h.class && idx < h.idx:
+					pass.Reportf(call.Pos(), "banklock: %s %d locked while %s %d is still held; resource locks must be taken in ascending order", class, idx, h.class, h.idx)
+				case class == shardClass && h.class == bankClass:
+					pass.Reportf(call.Pos(), "banklock: shard %d locked while bank %d is still held; shard locks come before bank locks in the canonical order", idx, h.idx)
+				default:
+					continue
+				}
+				break
+			}
+			held = append(held, acquisition{class: class, idx: idx, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			for i, h := range held {
+				if h.class == class && h.idx == idx {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resourceClassOf recognizes a lock receiver of the form shards[i] or
+// banks[i] (optionally behind a field selector, as in t.shards[i].mu)
+// and returns which resource class it indexes, constant index or not.
+func resourceClassOf(expr ast.Expr) (resourceClass, bool) {
+	_, class, ok := resourceElem(expr)
+	return class, ok
+}
+
+// resourceElem dissects a shards[...]/banks[...] receiver into its
+// index expression and class. ok is false for any other shape.
+func resourceElem(expr ast.Expr) (ast.Expr, resourceClass, bool) {
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name != "shards" && sel.Sel.Name != "banks" {
+			expr = sel.X
+		}
+	}
+	ie, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	var field string
+	switch x := ie.X.(type) {
+	case *ast.SelectorExpr:
+		field = x.Sel.Name
+	case *ast.Ident:
+		field = x.Name
+	default:
+		return nil, 0, false
+	}
+	switch field {
+	case "shards":
+		return ie.Index, shardClass, true
+	case "banks":
+		return ie.Index, bankClass, true
+	}
+	return nil, 0, false
+}
+
+// resourceIndex extracts the lock class and constant index from a lock
+// receiver of the form shards[C] or banks[C]. Non-constant indices
+// return ok=false: loops are covered by the descending-loop rule
+// instead.
+func resourceIndex(pass *Pass, expr ast.Expr) (resourceClass, int64, bool) {
+	index, class, ok := resourceElem(expr)
+	if !ok {
+		return 0, 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[index]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, 0, false
+	}
+	idx, ok := constant.Int64Val(tv.Value)
+	return class, idx, ok
+}

@@ -1,0 +1,107 @@
+// Banklock fixture: a stand-in for the resource lock table. Every
+// multi-resource lock sequence here either follows the canonical
+// order — shards ascending, then banks ascending — (clean) or
+// violates it (marked want).
+package rlock
+
+import "sync"
+
+// Table mirrors the real lock table: one mutex per page-table shard,
+// one per Flash bank.
+type Table struct {
+	shards []sync.Mutex
+	banks  []sync.Mutex
+}
+
+// lockCanonical acquires a two-shard, two-bank footprint in the
+// canonical order: shards ascending, then banks ascending. Clean.
+func (t *Table) lockCanonical() {
+	t.shards[0].Lock()
+	t.shards[3].Lock()
+	t.banks[1].Lock()
+	t.banks[2].Lock()
+	t.banks[2].Unlock()
+	t.banks[1].Unlock()
+	t.shards[3].Unlock()
+	t.shards[0].Unlock()
+}
+
+// lockAscendingLoops sweeps both resource slices forwards. Clean.
+func (t *Table) lockAscendingLoops() {
+	for i := range t.shards {
+		t.shards[i].Lock()
+	}
+	for i := range t.banks {
+		t.banks[i].Lock()
+	}
+}
+
+// unlockDescendingLoops releases in reverse order without acquiring:
+// descending loops are only a problem for Lock/RLock. Clean.
+func (t *Table) unlockDescendingLoops() {
+	for i := len(t.banks) - 1; i >= 0; i-- {
+		t.banks[i].Unlock()
+	}
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].Unlock()
+	}
+}
+
+// lockBanksBackwards acquires bank locks in a descending sweep.
+func (t *Table) lockBanksBackwards() {
+	for i := len(t.banks) - 1; i >= 0; i-- {
+		t.banks[i].Lock() // want `banklock: bank lock acquired inside a descending loop`
+		t.banks[i].Unlock()
+	}
+}
+
+// lockShardsBackwards acquires shard locks in a descending sweep.
+func (t *Table) lockShardsBackwards() {
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].Lock() // want `banklock: shard lock acquired inside a descending loop`
+		t.shards[i].Unlock()
+	}
+}
+
+// bankPairDescending takes bank 1 while bank 3 is still held.
+func (t *Table) bankPairDescending() {
+	t.banks[3].Lock()
+	t.banks[1].Lock() // want `banklock: bank 1 locked while bank 3 is still held`
+	t.banks[1].Unlock()
+	t.banks[3].Unlock()
+}
+
+// shardPairDescending takes shard 0 while shard 2 is still held.
+func (t *Table) shardPairDescending() {
+	t.shards[2].Lock()
+	t.shards[0].Lock() // want `banklock: shard 0 locked while shard 2 is still held`
+	t.shards[0].Unlock()
+	t.shards[2].Unlock()
+}
+
+// shardAfterBank takes a shard while a bank is held: shards come
+// strictly before banks in the canonical order, whatever the indices.
+func (t *Table) shardAfterBank() {
+	t.banks[0].Lock()
+	t.shards[5].Lock() // want `banklock: shard 5 locked while bank 0 is still held`
+	t.shards[5].Unlock()
+	t.banks[0].Unlock()
+}
+
+// releaseThenEarlier drops the bank before taking the shard — no two
+// locks are ever held out of order. Clean.
+func (t *Table) releaseThenEarlier() {
+	t.banks[2].Lock()
+	t.banks[2].Unlock()
+	t.shards[1].Lock()
+	t.shards[1].Unlock()
+}
+
+// suppressed documents the escape hatch for a deliberate exception.
+func (t *Table) suppressed() {
+	t.banks[1].Lock()
+	//envyvet:allow banklock
+	t.shards[0].Lock()
+	t.shards[0].Unlock()
+	t.banks[1].Unlock()
+}

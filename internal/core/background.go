@@ -251,7 +251,7 @@ func (d *Device) finishFlush(lpn uint32) {
 		d.buf.Requeue(frame)
 	} else {
 		d.table.MapFlash(lpn, ppn)
-		d.mmu.Update(lpn)
+		d.mmuFor(lpn).Update(lpn)
 		d.buf.Remove(frame)
 	}
 	// Keep draining while above the low-water mark.

@@ -31,6 +31,7 @@ import (
 	"envy/internal/fault"
 	"envy/internal/flash"
 	"envy/internal/pagetable"
+	"envy/internal/rlock"
 	"envy/internal/sched"
 	"envy/internal/sim"
 	"envy/internal/sram"
@@ -100,6 +101,18 @@ type Config struct {
 	// parallel without the device mutex. Sharding is a wall-clock
 	// concern only — it never changes simulated timing. Default 1.
 	PageTableShards int
+
+	// ParallelService enables the lock-decomposed parallel host service
+	// path: the host engine admits batches of requests with disjoint
+	// resource footprints (page-table shards + Flash banks, resolved at
+	// admission) and executes them concurrently on real OS threads, each
+	// lane holding its resources via the device's lock table
+	// (internal/rlock) and advancing a private lane clock that merges
+	// deterministically (sim.ShardedClock). The MMU translation cache is
+	// partitioned per page-table shard in this mode, so concurrent lanes
+	// never share cache state. Default off: requests service one at a
+	// time exactly as PR 4's engine did.
+	ParallelService bool
 
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
@@ -197,6 +210,17 @@ type Device struct {
 	mmu   *pagetable.MMU
 	eng   *cleaner.Engine
 
+	// mmus, non-nil only with Config.ParallelService, partitions the
+	// translation cache per page-table shard so parallel execution lanes
+	// holding distinct shard locks never share MMU state. All MMU access
+	// routes through mmuFor.
+	mmus []*pagetable.MMU
+
+	// rlocks is the resource lock table for the parallel service path
+	// (one mutex per page-table shard and Flash bank); nil when
+	// ParallelService is off.
+	rlocks *rlock.Table
+
 	now sim.Time
 
 	counters  stats.Counters
@@ -261,6 +285,10 @@ func New(cfg Config) (*Device, error) {
 	d.eng, err = cleaner.New(arr, cfg.Cleaning, d.remap, &d.counters)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ParallelService {
+		d.mmus = newShardMMUs(cfg)
+		d.rlocks = rlock.NewTable(cfg.PageTableShards, cfg.Geometry.Banks)
 	}
 	d.banks = flash.NewBankSet(cfg.Geometry.Banks)
 	// One lane reproduces the paper's base controller (one background
@@ -349,7 +377,7 @@ func (d *Device) latchCrash() {
 		ppn := d.flushPPN[lpn]
 		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
 	}
-	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
+	d.resetMMUs()
 	if c := d.sched.Cursor(); c > d.now {
 		d.now = c
 	}
@@ -392,7 +420,7 @@ func (d *Device) remap(logical, oldPPN, newPPN uint32) {
 	}
 	if loc, ok := d.table.Lookup(logical); ok && !loc.InSRAM && loc.PPN == oldPPN {
 		d.table.MapFlash(logical, newPPN)
-		d.mmu.Update(logical)
+		d.mmuFor(logical).Update(logical)
 		return
 	}
 	panic(fmt.Sprintf("core: cleaner moved page %d from %d, which no record accounts for", logical, oldPPN))
@@ -426,8 +454,23 @@ func (d *Device) Breakdown() stats.Breakdown { return d.breakdown }
 func (d *Device) ReadLatency() *stats.Latency  { return &d.readLat }
 func (d *Device) WriteLatency() *stats.Latency { return &d.writeLat }
 
-// MMUHitRate reports the translation cache hit rate.
-func (d *Device) MMUHitRate() float64 { return d.mmu.HitRate() }
+// MMUHitRate reports the translation cache hit rate, aggregated across
+// the per-shard caches under ParallelService.
+func (d *Device) MMUHitRate() float64 {
+	if d.mmus == nil {
+		return d.mmu.HitRate()
+	}
+	var lookups, misses int64
+	for _, m := range d.mmus {
+		l, mi := m.Stats()
+		lookups += l
+		misses += mi
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(lookups-misses) / float64(lookups)
+}
 
 // Array exposes the underlying Flash array for inspection (wear
 // statistics, utilization).
@@ -501,7 +544,15 @@ func (d *Device) ResetStats() {
 // the cleaning state — is persistent (§3.3, §3.4); only the volatile
 // MMU translation cache is lost.
 func (d *Device) PowerCycle() {
+	d.resetMMUs()
+}
+
+// resetMMUs discards every volatile translation cache (power loss).
+func (d *Device) resetMMUs() {
 	d.mmu = pagetable.NewMMU(d.cfg.MMUEntries, d.cfg.PTLookup)
+	if d.mmus != nil {
+		d.mmus = newShardMMUs(d.cfg)
+	}
 }
 
 // AccessError reports a host access the device rejected before any
@@ -546,13 +597,56 @@ func (d *Device) AdvanceTo(t sim.Time) {
 
 // translate charges the translation cost for one host access.
 func (d *Device) translate(page uint32) sim.Duration {
-	cost := d.mmu.Translate(page)
+	cost := d.mmuFor(page).Translate(page)
 	if cost == 0 {
 		d.counters.MMUHits++
 	} else {
 		d.counters.MMUMisses++
 	}
 	return d.cfg.BusOverhead + cost
+}
+
+// newShardMMUs builds the per-shard translation caches for the
+// parallel service path. Each shard carries a full-size cache: the
+// lock-decomposed controller replicates the MMU block per shard so
+// concurrent lanes never share a lookup path, the way each memory
+// channel of a multi-ported controller carries its own TLB. (Dividing
+// one cache across shards would instead partition the capacity
+// unevenly against the workload's skew and cost hits relative to the
+// serial controller.)
+func newShardMMUs(cfg Config) []*pagetable.MMU {
+	mmus := make([]*pagetable.MMU, cfg.PageTableShards)
+	for i := range mmus {
+		mmus[i] = pagetable.NewMMU(cfg.MMUEntries, cfg.PTLookup)
+	}
+	return mmus
+}
+
+// mmuFor returns the translation cache responsible for a logical page:
+// the single device MMU normally, the page's shard MMU under
+// ParallelService. Every MMU access in the controller routes through
+// here so the two modes stay consistent.
+func (d *Device) mmuFor(page uint32) *pagetable.MMU {
+	if d.mmus == nil {
+		return d.mmu
+	}
+	return d.mmus[d.table.ShardOf(page)]
+}
+
+// ParallelEnabled reports whether the lock-decomposed parallel service
+// path is configured on this device.
+func (d *Device) ParallelEnabled() bool { return d.rlocks != nil }
+
+// Suspensions returns the total number of background-operation
+// suspensions across all op kinds — the host engine's adaptive depth
+// controller reads this as its congestion signal (§3.4 suspend/resume
+// churn).
+func (d *Device) Suspensions() int64 {
+	var n int64
+	for k := stats.OpKind(0); k < stats.NumOpKinds; k++ {
+		n += d.opStats.Get(k).Suspensions
+	}
+	return n
 }
 
 // ReadWord reads the 32-bit word at the given byte address (which must
@@ -789,7 +883,7 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 	}
 	frame := d.buf.Insert(page, home, payload)
 	d.table.MapSRAM(page)
-	d.mmu.Update(page)
+	d.mmuFor(page).Update(page)
 	if d.inj != nil && d.inj.AtRetarget() {
 		panic(&fault.Crash{Point: fault.PointRetarget, LPN: page})
 	}

@@ -124,13 +124,13 @@ func (d *Device) Rollback() (err error) {
 		case sh.hasFlash:
 			d.discardCurrent(lpn, sh.ppn)
 			d.table.MapFlash(lpn, sh.ppn)
-			d.mmu.Update(lpn)
+			d.mmuFor(lpn).Update(lpn)
 		case sh.mapped:
 			d.restorePreimage(lpn, sh.preimage)
 		default:
 			d.discardCurrent(lpn, flash.NoPage)
 			d.table.Unmap(lpn)
-			d.mmu.Invalidate(lpn)
+			d.mmuFor(lpn).Invalidate(lpn)
 		}
 		delete(d.shadows, lpn)
 	}
@@ -191,7 +191,7 @@ func (d *Device) restorePreimage(lpn uint32, pre []byte) {
 	home := d.eng.Home(lpn, false, 0)
 	ppn, _ := d.eng.Flush(lpn, home, pre)
 	d.table.MapFlash(lpn, ppn)
-	d.mmu.Update(lpn)
+	d.mmuFor(lpn).Update(lpn)
 }
 
 // Preload writes data at addr directly into Flash, bypassing the write
@@ -253,7 +253,7 @@ func (d *Device) preloadPage(page uint32, off int, data []byte) error {
 	}
 	ppn, _ := d.eng.Flush(page, home, buf)
 	d.table.MapFlash(page, ppn)
-	d.mmu.Update(page)
+	d.mmuFor(page).Update(page)
 	return nil
 }
 
@@ -301,7 +301,7 @@ func (d *Device) Churn(n int, seed uint64) {
 		}
 		ppn, _ := d.eng.Flush(page, home, buf)
 		d.table.MapFlash(page, ppn)
-		d.mmu.Update(page)
+		d.mmuFor(page).Update(page)
 	}
 }
 

@@ -147,6 +147,11 @@ func HostDepthMetrics(pts []HostDepthPoint) map[string]float64 {
 	m := make(map[string]float64)
 	for _, p := range pts {
 		prefix := fmt.Sprintf("depth%d_", p.Depth)
+		if p.Adaptive {
+			prefix = fmt.Sprintf("adaptive%d_", p.Depth)
+			m[prefix+"eff_depth"] = float64(p.EffDepth)
+			m[prefix+"min_eff_depth"] = float64(p.MinEffDepth)
+		}
 		m[prefix+"tps"] = p.TPS
 		m[prefix+"p50_ns"] = float64(p.P50)
 		m[prefix+"p95_ns"] = float64(p.P95)

@@ -5,6 +5,7 @@ import (
 
 	"envy/internal/core"
 	"envy/internal/sim"
+	"envy/internal/tpca"
 )
 
 // HostDepthPoint measures the multi-outstanding host extension at one
@@ -15,6 +16,16 @@ type HostDepthPoint struct {
 	TPS                float64
 	P50, P95, P99, Max sim.Duration
 	MeanDepth          float64
+
+	// Adaptive marks the controller row: the queue was configured at
+	// Depth but the engine throttled its effective admission depth
+	// against the suspend/resume rate, ending the run at EffDepth.
+	// MinEffDepth is the deepest mid-run throttle — the controller
+	// relaxes during the drain, so the end-of-run depth alone would
+	// hide that it tracked the sweep's interior optimum.
+	Adaptive    bool
+	EffDepth    int
+	MinEffDepth int
 }
 
 // HostDepths is the queue-depth sweep.
@@ -36,6 +47,29 @@ func HostDepthOne(sc Scale, depth int) (HostDepthPoint, error) {
 	return pt, nil
 }
 
+// HostDepthAdaptive measures the adaptive depth controller configured
+// at the sweep's deepest queue: the engine watches the device's
+// suspend/resume churn and throttles its effective admission depth
+// toward the sweep's interior optimum, without being told where it is.
+func HostDepthAdaptive(sc Scale) (HostDepthPoint, error) {
+	depth := HostDepths[len(HostDepths)-1]
+	rate := sc.Rates[len(sc.Rates)-1] * 2
+	res, err := runRateWith(sc, rate, func(c *core.Config) {
+		c.ParallelFlush = sc.SystemGeometry.Banks
+	}, func(b *tpca.Bank) *tpca.Driver {
+		return tpca.NewDriverAdaptive(b, depth)
+	})
+	if err != nil {
+		return HostDepthPoint{}, err
+	}
+	pt := HostDepthPoint{
+		Depth: depth, TPS: res.TPS, MeanDepth: res.HostMeanDepth,
+		Adaptive: true, EffDepth: res.HostEffectiveDepth, MinEffDepth: res.HostMinEffDepth,
+	}
+	pt.P50, pt.P95, pt.P99, pt.Max = res.HostP50, res.HostP95, res.HostP99, res.HostMax
+	return pt, nil
+}
+
 // HostDepth sweeps the host queue depth, reproducing the
 // multi-outstanding extension's headline: past depth 1, reads pass
 // writes blocked on a full buffer and flushes keep programming on
@@ -50,7 +84,11 @@ func HostDepth(sc Scale) ([]HostDepthPoint, error) {
 		}
 		pts = append(pts, pt)
 	}
-	return pts, nil
+	apt, err := HostDepthAdaptive(sc)
+	if err != nil {
+		return nil, err
+	}
+	return append(pts, apt), nil
 }
 
 // HostDepthTable formats the queue-depth sweep.
@@ -61,8 +99,12 @@ func HostDepthTable(pts []HostDepthPoint) Table {
 		Header: []string{"depth", "sustained TPS", "p50", "p95", "p99", "max", "mean depth"},
 	}
 	for _, p := range pts {
+		label := fmt.Sprintf("%d", p.Depth)
+		if p.Adaptive {
+			label = fmt.Sprintf("%d adaptive (throttled to %d)", p.Depth, p.MinEffDepth)
+		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", p.Depth), f0(p.TPS),
+			label, f0(p.TPS),
 			ns(p.P50), ns(p.P95), ns(p.P99), ns(p.Max), f2(p.MeanDepth),
 		})
 	}

@@ -49,6 +49,14 @@ func runRate(sc Scale, rate float64, mod func(*core.Config)) (tpca.Results, erro
 // runRateDepth is runRate with the driver issuing through a host queue
 // of the given depth (1 = the classic single-outstanding driver).
 func runRateDepth(sc Scale, rate float64, depth int, mod func(*core.Config)) (tpca.Results, error) {
+	return runRateWith(sc, rate, mod, func(b *tpca.Bank) *tpca.Driver {
+		return tpca.NewDriverDepth(b, depth)
+	})
+}
+
+// runRateWith ages and warms a fresh bank, then measures one offered
+// rate through a caller-built driver.
+func runRateWith(sc Scale, rate float64, mod func(*core.Config), newDriver func(*tpca.Bank) *tpca.Driver) (tpca.Results, error) {
 	bank, err := newBank(sc, mod)
 	if err != nil {
 		return tpca.Results{}, err
@@ -56,7 +64,7 @@ func runRateDepth(sc Scale, rate float64, depth int, mod func(*core.Config)) (tp
 	if sc.AgeWrites > 0 {
 		bank.Device().Churn(sc.AgeWrites, sc.Seed^0xa6e)
 	}
-	dr := tpca.NewDriverDepth(bank, depth)
+	dr := newDriver(bank)
 	for chunk := 0; chunk < 10; chunk++ {
 		res, err := dr.Run(rate, sc.WarmTime)
 		if err != nil {

@@ -35,6 +35,7 @@ package host
 import (
 	"fmt"
 
+	"envy/internal/rlock"
 	"envy/internal/sim"
 	"envy/internal/stats"
 )
@@ -105,6 +106,29 @@ type Engine struct {
 	writeLat stats.Latency
 	gauge    stats.DepthGauge
 	served   int64
+
+	// par, when set via SetParallel, is the backend's lock-decomposed
+	// parallel service surface: the pump then dispatches batches of
+	// disjoint-footprint requests to real OS threads (parallel.go). Nil
+	// keeps the one-at-a-time service.
+	par ParallelBackend
+
+	// Batch dispatch accounting (parallel path only); fps is the
+	// collectBatch scratch of admitted footprints, index-aligned with
+	// the batch under construction.
+	batches  int64
+	batched  int64
+	maxBatch int
+	fps      []*rlock.Footprint
+
+	// Adaptive depth controller state (adaptive.go); effDepth is the
+	// current admission bound in [1, depth] when adaptive is on.
+	adaptive bool
+	src      suspensionSource
+	effDepth int
+	minEff   int
+	window   int
+	lastSusp int64
 }
 
 // New builds an engine of the given queue depth over a backend with
@@ -151,6 +175,9 @@ func (e *Engine) ResetStats() {
 	e.writeLat.Reset()
 	e.gauge.Reset()
 	e.served = 0
+	e.batches = 0
+	e.batched = 0
+	e.maxBatch = 0
 }
 
 // Submit enqueues r, stamping its arrival at the current instant. If
@@ -159,23 +186,32 @@ func (e *Engine) ResetStats() {
 // until a slot frees. After enqueueing, every serviceable request is
 // serviced — at depth 1 that is r itself, synchronously, exactly as a
 // direct device call.
-func (e *Engine) Submit(r *Request) {
-	if r.completed {
-		panic("host: resubmitted a completed request")
-	}
-	r.firstPage = uint32(r.Addr / e.pageSize)
-	last := r.Addr
-	if len(r.Data) > 0 {
-		last = r.Addr + uint64(len(r.Data)) - 1
-	}
-	r.lastPage = uint32(last / e.pageSize)
+func (e *Engine) Submit(r *Request) { e.SubmitAll(r) }
 
-	if len(e.queue) >= e.depth {
-		e.forceProgress(func() bool { return len(e.queue) < e.depth })
+// SubmitAll enqueues a group of requests that arrive at the same
+// instant — N initiators issuing simultaneously — and then services the
+// queue once. Unlike sequential Submit calls, none of the group is
+// serviced before all are queued, so a parallel engine can admit the
+// whole group as one batch. Back-pressure applies per request, exactly
+// as in Submit.
+func (e *Engine) SubmitAll(rs ...*Request) {
+	for _, r := range rs {
+		if r.completed {
+			panic("host: resubmitted a completed request")
+		}
+		r.firstPage = uint32(r.Addr / e.pageSize)
+		last := r.Addr
+		if len(r.Data) > 0 {
+			last = r.Addr + uint64(len(r.Data)) - 1
+		}
+		r.lastPage = uint32(last / e.pageSize)
+		if len(e.queue) >= e.effectiveDepth() {
+			e.forceProgress(func() bool { return len(e.queue) < e.effectiveDepth() })
+		}
+		r.Arrival = e.be.Now()
+		e.queue = append(e.queue, r)
+		e.gauge.Set(e.be.Now(), len(e.queue))
 	}
-	r.Arrival = e.be.Now()
-	e.queue = append(e.queue, r)
-	e.gauge.Set(e.be.Now(), len(e.queue))
 	e.pump()
 }
 
@@ -257,6 +293,10 @@ func (e *Engine) pump() {
 		}
 		return
 	}
+	if e.par != nil {
+		e.pumpParallel()
+		return
+	}
 	for {
 		r := e.nextServiceable()
 		if r == nil {
@@ -311,6 +351,14 @@ func (e *Engine) service(r *Request) {
 		_, r.Err = e.be.ReadErr(r.Data, r.Addr)
 	}
 	r.Completion = e.be.Now()
+	e.finish(r)
+}
+
+// finish records a request whose backend execution is done (timestamps
+// and Err already set): dequeue, histograms, depth gauge, completion
+// callback. Shared by the serial service path and the parallel batch
+// path.
+func (e *Engine) finish(r *Request) {
 	r.completed = true
 	for i, q := range e.queue {
 		if q == r {
@@ -327,6 +375,7 @@ func (e *Engine) service(r *Request) {
 	} else {
 		e.readLat.Record(lat)
 	}
+	e.adaptTick()
 	if r.OnComplete != nil {
 		r.OnComplete(r)
 	}

@@ -1,0 +1,134 @@
+package host
+
+import (
+	"envy/internal/core"
+	"envy/internal/rlock"
+)
+
+// Parallel batch dispatch: the admission/ordering half of the
+// lock-decomposed host service. The engine keeps its PR 4 semantics —
+// FIFO-first-eligible, reads pass blocked writes, same-page write
+// fences — but instead of servicing one eligible request at a time it
+// admits a batch: the first eligible request plus every later eligible
+// request whose resource footprint (page-table shards + Flash banks,
+// resolved by the backend at admission) is disjoint from everything
+// already admitted. The batch executes on real OS threads inside
+// core.ExecBatch; conflicting requests stay queued and run in a later
+// batch — queueing per-resource, exactly the two-level scheme the
+// design calls for.
+//
+// Determinism: batch composition is a pure function of the queue and
+// the device state at admission (both owned by the single goroutine
+// driving the engine), and ExecBatch merges lane results in admission
+// order — so a given submission sequence replays bit-identically at
+// any GOMAXPROCS.
+
+// ParallelBackend is the optional backend surface the parallel service
+// path needs; *core.Device implements it when built with
+// Config.ParallelService.
+type ParallelBackend interface {
+	// Footprint resolves the resources an access needs, or reports
+	// ok=false when the access must take the serial path (copy-on-write,
+	// open transaction, armed crash injector, invalid range).
+	Footprint(addr uint64, n int, write bool) (*rlock.Footprint, bool)
+
+	// ExecBatch services admitted requests with pairwise disjoint
+	// footprints on concurrent execution lanes.
+	ExecBatch(batch []*core.BatchAccess)
+}
+
+// SetParallel arms the parallel batch path: the pump dispatches
+// disjoint-footprint batches through pb instead of servicing requests
+// one at a time. pb must be the same device as the engine's Backend.
+// Depth-1 engines never batch (the single-outstanding model is already
+// synchronous), so arming one is inert.
+func (e *Engine) SetParallel(pb ParallelBackend) { e.par = pb }
+
+// Batches returns the number of parallel batch dispatches, BatchedRequests
+// the number of requests serviced inside them, and MaxBatch the largest
+// batch dispatched.
+func (e *Engine) Batches() int64         { return e.batches }
+func (e *Engine) BatchedRequests() int64 { return e.batched }
+func (e *Engine) MaxBatch() int          { return e.maxBatch }
+
+// pumpParallel services the queue in batches until nothing is
+// serviceable. A batch of one falls back to the serial service path,
+// so isolated requests time exactly as the one-at-a-time engine.
+func (e *Engine) pumpParallel() {
+	for {
+		batch := e.collectBatch()
+		switch {
+		case len(batch) == 0:
+			return
+		case len(batch) == 1:
+			e.service(batch[0])
+		default:
+			e.serviceBatch(batch)
+		}
+	}
+}
+
+// collectBatch selects the requests to advance now: the first eligible
+// request in FIFO order, extended with every later eligible request
+// whose footprint is disjoint from all already collected. When the
+// first eligible request has no lane footprint (it needs the serial
+// path) it is returned alone; a later serial-path request ends the
+// scan, so it is never starved by lane traffic batching past it.
+// Footprints are stashed on the requests' batch slots via the returned
+// parallel slice order.
+func (e *Engine) collectBatch() []*Request {
+	var batch []*Request
+	e.fps = e.fps[:0]
+	for i, r := range e.queue {
+		if !e.eligible(i) {
+			continue
+		}
+		if r.Write && e.be.WriteWouldBlock(r.Addr, len(r.Data)) {
+			continue
+		}
+		fp, ok := e.par.Footprint(r.Addr, len(r.Data), r.Write)
+		if !ok {
+			if len(batch) == 0 {
+				return []*Request{r}
+			}
+			break
+		}
+		conflict := false
+		for _, g := range e.fps {
+			if !fp.Disjoint(g) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue // queues per-resource: a later batch picks it up
+		}
+		batch = append(batch, r)
+		e.fps = append(e.fps, fp)
+	}
+	return batch
+}
+
+// serviceBatch executes a multi-request batch on concurrent lanes and
+// completes its requests in admission order. Every request starts at
+// the batch base time: disjoint requests genuinely overlap on the
+// simulated device.
+func (e *Engine) serviceBatch(reqs []*Request) {
+	base := e.be.Now()
+	batch := make([]*core.BatchAccess, len(reqs))
+	for i, r := range reqs {
+		batch[i] = &core.BatchAccess{Write: r.Write, Addr: r.Addr, Data: r.Data, FP: e.fps[i]}
+	}
+	e.par.ExecBatch(batch)
+	e.batches++
+	e.batched += int64(len(reqs))
+	if len(reqs) > e.maxBatch {
+		e.maxBatch = len(reqs)
+	}
+	for i, r := range reqs {
+		r.Start = base
+		r.Completion = batch[i].End
+		r.Err = batch[i].Err
+		e.finish(r)
+	}
+}

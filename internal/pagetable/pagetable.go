@@ -119,6 +119,21 @@ func (t *Table) Lookup(logical uint32) (loc Location, ok bool) {
 	s.mu.RLock()
 	e := s.entries[i]
 	s.mu.RUnlock()
+	return decode(e)
+}
+
+// LookupOwned resolves a logical page without touching the shard's
+// read-write lock. Callers must already own the shard through an
+// admission-time resource lock (internal/rlock): execution lanes hold
+// every shard in their footprint exclusively for the whole batch, so
+// the RWMutex round-trip — two contended atomics per host word on the
+// lane hot path — buys nothing there.
+func (t *Table) LookupOwned(logical uint32) (loc Location, ok bool) {
+	s, i := t.locate(logical)
+	return decode(s.entries[i])
+}
+
+func decode(e uint32) (Location, bool) {
 	if e == unmappedEntry {
 		return Location{}, false
 	}

@@ -1,0 +1,162 @@
+// Package rlock is the device's resource lock table: one mutex per
+// page-table shard, one per Flash bank, and a single shared-state lock
+// covering everything the decomposition has not split (the SRAM write
+// buffer's allocator, the cleaner, the background scheduler).
+//
+// The table is the concurrency backbone of the parallel host service
+// path (core's execution lanes): a request's resource footprint —
+// the page-table shards its page range spans plus the Flash banks its
+// data lives on, resolved at admission — is locked for the duration of
+// its lane execution, so requests with disjoint footprints advance on
+// different OS threads while conflicting ones queue per-resource.
+// SRAM-buffered accesses take no bank at all; operations that touch
+// undecomposed state (copy-on-write, flush expansion, transactions,
+// fault injection) take the shared lock, which conflicts with every
+// footprint.
+//
+// # Lock ordering
+//
+// Acquisition order is canonical and total: page-table shard locks in
+// ascending shard order, then bank locks in ascending bank order, then
+// the shared lock last. Every Lock call follows that order, which makes
+// the table deadlock-free by the usual ordered-resource argument. The
+// envyvet banklock analyzer enforces the discipline lexically (a
+// sibling of the pagetable shardlock analyzer): bank locks may not be
+// acquired in descending loops, out of constant order, or while a
+// shard lock of the same table is still pending.
+package rlock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Footprint is the resource set one operation needs: the page-table
+// shards and Flash banks it touches, both sorted ascending and
+// deduplicated (AddShard/AddBank maintain this), plus the Shared flag
+// for operations that need the undecomposed device state. A Shared
+// footprint conflicts with every other footprint.
+type Footprint struct {
+	Shards []int
+	Banks  []int
+	Shared bool
+}
+
+// insertSorted adds v to a sorted slice, keeping it sorted and
+// duplicate-free.
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// AddShard records a page-table shard in the footprint.
+func (f *Footprint) AddShard(shard int) { f.Shards = insertSorted(f.Shards, shard) }
+
+// AddBank records a Flash bank in the footprint. Negative banks (the
+// "no bank" convention for SRAM and unmapped accesses) are ignored.
+func (f *Footprint) AddBank(bank int) {
+	if bank < 0 {
+		return
+	}
+	f.Banks = insertSorted(f.Banks, bank)
+}
+
+// Disjoint reports whether two footprints can hold their locks
+// concurrently: neither is Shared and they have no shard or bank in
+// common.
+func (f *Footprint) Disjoint(g *Footprint) bool {
+	if f.Shared || g.Shared {
+		return false
+	}
+	return disjointSorted(f.Shards, g.Shards) && disjointSorted(f.Banks, g.Banks)
+}
+
+// disjointSorted reports whether two ascending slices share no element.
+func disjointSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the footprint for diagnostics.
+func (f *Footprint) String() string {
+	if f.Shared {
+		return "footprint{shared}"
+	}
+	return fmt.Sprintf("footprint{shards %v banks %v}", f.Shards, f.Banks)
+}
+
+// Table is the lock table. The zero value is unusable; build one with
+// NewTable.
+type Table struct {
+	shards []sync.Mutex
+	banks  []sync.Mutex
+	shared sync.Mutex
+}
+
+// NewTable builds a table for the given shard and bank counts.
+func NewTable(shards, banks int) *Table {
+	if shards < 1 || banks < 1 {
+		panic(fmt.Sprintf("rlock: need at least 1 shard and 1 bank, got %d/%d", shards, banks))
+	}
+	return &Table{shards: make([]sync.Mutex, shards), banks: make([]sync.Mutex, banks)}
+}
+
+// Shards and Banks return the table dimensions.
+func (t *Table) Shards() int { return len(t.shards) }
+func (t *Table) Banks() int  { return len(t.banks) }
+
+// Lock acquires every lock in f in the canonical order: shards
+// ascending, then banks ascending, then — for Shared footprints — the
+// shared lock. Footprints must be well-formed (sorted, in range); use
+// AddShard/AddBank to build them.
+func (t *Table) Lock(f *Footprint) {
+	for _, s := range f.Shards {
+		t.shards[s].Lock()
+	}
+	for _, b := range f.Banks {
+		t.banks[b].Lock()
+	}
+	if f.Shared {
+		t.shared.Lock()
+	}
+}
+
+// Unlock releases every lock in f (reverse canonical order).
+func (t *Table) Unlock(f *Footprint) {
+	if f.Shared {
+		t.shared.Unlock()
+	}
+	for i := len(f.Banks) - 1; i >= 0; i-- {
+		t.banks[f.Banks[i]].Unlock()
+	}
+	for i := len(f.Shards) - 1; i >= 0; i-- {
+		t.shards[f.Shards[i]].Unlock()
+	}
+}
+
+// LockShared acquires only the shared-state lock (the serial device
+// paths: copy-on-write, flush expansion, recovery). Equivalent to
+// locking a Footprint{Shared: true} with no shards or banks.
+func (t *Table) LockShared() { t.shared.Lock() }
+
+// UnlockShared releases the shared-state lock.
+func (t *Table) UnlockShared() { t.shared.Unlock() }

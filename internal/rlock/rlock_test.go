@@ -1,0 +1,127 @@
+package rlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFootprintBuild(t *testing.T) {
+	var f Footprint
+	f.AddShard(3)
+	f.AddShard(1)
+	f.AddShard(3)
+	f.AddBank(5)
+	f.AddBank(0)
+	f.AddBank(5)
+	f.AddBank(-1) // "no bank" sentinel is dropped
+	if got, want := len(f.Shards), 2; got != want {
+		t.Fatalf("shards = %v, want 2 entries", f.Shards)
+	}
+	if f.Shards[0] != 1 || f.Shards[1] != 3 {
+		t.Fatalf("shards = %v, want [1 3]", f.Shards)
+	}
+	if len(f.Banks) != 2 || f.Banks[0] != 0 || f.Banks[1] != 5 {
+		t.Fatalf("banks = %v, want [0 5]", f.Banks)
+	}
+}
+
+func TestFootprintDisjoint(t *testing.T) {
+	fp := func(shards, banks []int, shared bool) *Footprint {
+		f := &Footprint{Shared: shared}
+		for _, s := range shards {
+			f.AddShard(s)
+		}
+		for _, b := range banks {
+			f.AddBank(b)
+		}
+		return f
+	}
+	cases := []struct {
+		name string
+		a, b *Footprint
+		want bool
+	}{
+		{"empty-empty", fp(nil, nil, false), fp(nil, nil, false), true},
+		{"distinct", fp([]int{0}, []int{1}, false), fp([]int{1}, []int{2}, false), true},
+		{"same-shard", fp([]int{0, 2}, nil, false), fp([]int{2, 3}, nil, false), false},
+		{"same-bank", fp([]int{0}, []int{4}, false), fp([]int{1}, []int{4}, false), false},
+		{"shared-left", fp(nil, nil, true), fp([]int{1}, []int{2}, false), false},
+		{"shared-right", fp([]int{1}, nil, false), fp(nil, nil, true), false},
+		{"shared-both", fp(nil, nil, true), fp(nil, nil, true), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Disjoint(tc.b); got != tc.want {
+			t.Errorf("%s: Disjoint(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Disjoint(tc.a); got != tc.want {
+			t.Errorf("%s (flipped): Disjoint(%v, %v) = %v, want %v", tc.name, tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+// TestLockExclusion drives many goroutines through overlapping
+// footprints and checks mutual exclusion per resource with a counter
+// that the race detector also watches.
+func TestLockExclusion(t *testing.T) {
+	tab := NewTable(4, 8)
+	perBank := make([]int, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := &Footprint{}
+			f.AddShard(g % 4)
+			f.AddBank(g % 8)
+			f.AddBank((g + 3) % 8)
+			for i := 0; i < 200; i++ {
+				tab.Lock(f)
+				for _, b := range f.Banks {
+					perBank[b]++
+				}
+				tab.Unlock(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range perBank {
+		total += n
+	}
+	if total != 16*200*2 {
+		t.Fatalf("lost updates: total %d, want %d", total, 16*200*2)
+	}
+}
+
+// TestSharedExcludesAll checks that a Shared footprint cannot run
+// concurrently with any plain footprint.
+func TestSharedExcludesAll(t *testing.T) {
+	tab := NewTable(2, 2)
+	var state int
+	var wg sync.WaitGroup
+	plain := &Footprint{}
+	plain.AddShard(0)
+	plain.AddBank(1)
+	shared := &Footprint{Shared: true}
+	shared.AddShard(0)
+	shared.AddBank(1)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := plain
+			if i%2 == 0 {
+				f = shared
+			}
+			for j := 0; j < 500; j++ {
+				tab.Lock(f)
+				state++
+				tab.Unlock(f)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if state != 8*500 {
+		t.Fatalf("lost updates: state %d, want %d", state, 8*500)
+	}
+}

@@ -302,8 +302,30 @@ func (s *Scheduler) Run(from, until sim.Time) {
 			s.ops.Counters(op.Kind).Active += dt
 			op.Remaining -= dt
 		}
+		s.chargeOverlap(run, dt)
 		s.cursor = s.cursor.Add(dt)
 		s.completeFinished()
+	}
+}
+
+// chargeOverlap records flush/clean concurrency: when the running set
+// holds both a flush program and a cleaning copy, the slice counts
+// toward the FlushCleanOverlap accumulator — the observable for the §6
+// claim that cleaning copy-out can proceed while the flush stream keeps
+// programming on other banks.
+func (s *Scheduler) chargeOverlap(run []*Op, dt sim.Duration) {
+	var flush, clean bool
+	for _, op := range run {
+		switch op.Kind {
+		case stats.OpFlush:
+			flush = true
+		case stats.OpCleanCopy:
+			clean = true
+		default: // erases and wear swaps don't enter the overlap metric
+		}
+	}
+	if flush && clean {
+		s.ops.AddFlushCleanOverlap(dt)
 	}
 }
 
@@ -412,10 +434,26 @@ func (s *Scheduler) Overlap(bank int, now sim.Time) {
 			s.ops.Counters(op.Kind).Active += dt
 			op.Remaining -= dt
 		}
+		s.chargeOverlap(run, dt)
 		s.cursor = s.cursor.Add(dt)
 		s.completeFinished()
 	}
 	s.cursor = now
+}
+
+// QueuedOn counts queued (incomplete) operations of the given kind
+// targeting bank. The controller's flush placement uses it to steer
+// programs away from banks with cleaning copies waiting, so copy-out
+// overlaps flush programming on distinct banks instead of queueing
+// behind it.
+func (s *Scheduler) QueuedOn(bank int, kind stats.OpKind) int {
+	n := 0
+	for _, op := range s.queue {
+		if op.Bank == bank && op.Kind == kind {
+			n++
+		}
+	}
+	return n
 }
 
 // suspendOp parks one op. The bank claim must be released before the

@@ -1,0 +1,69 @@
+package sim
+
+// ShardedClock is the simulated-clock decomposition behind the parallel
+// host service path. A batch of requests with disjoint resource
+// footprints all start at the same base time (they genuinely overlap on
+// the simulated device, the way independent banks overlap in §6); each
+// execution lane advances a private LaneClock, and the batch's merged
+// completion time is the deterministic maximum of the lane ends.
+//
+// The merge rule is what keeps the simulation bit-identical across OS
+// thread interleavings: lane clocks never observe each other, so the
+// merged time is a pure function of the batch's admission order and the
+// device state at admission — never of which goroutine happened to run
+// first.
+type ShardedClock struct {
+	base  Time
+	lanes []LaneClock
+}
+
+// NewShardedClock builds a clock for one batch: every lane starts at
+// base.
+func NewShardedClock(base Time, lanes int) *ShardedClock {
+	c := &ShardedClock{base: base, lanes: make([]LaneClock, lanes)}
+	for i := range c.lanes {
+		c.lanes[i].now = base
+	}
+	return c
+}
+
+// Base returns the batch's shared start time.
+func (c *ShardedClock) Base() Time { return c.base }
+
+// Lane returns lane i's private clock. Each lane must be driven by at
+// most one goroutine; distinct lanes may advance concurrently.
+func (c *ShardedClock) Lane(i int) *LaneClock { return &c.lanes[i] }
+
+// Merge returns the batch completion time: the maximum lane end (the
+// base itself if no lane advanced). Call only after every lane is done.
+func (c *ShardedClock) Merge() Time {
+	end := c.base
+	for i := range c.lanes {
+		if c.lanes[i].now > end {
+			end = c.lanes[i].now
+		}
+	}
+	return end
+}
+
+// LaneClock is one execution lane's private simulated clock. The
+// padding keeps each lane's clock on its own cache line: the clocks
+// live in one contiguous slice and every timed access writes its
+// lane's now, so unpadded neighbours would false-share the line and
+// serialize the very lanes the decomposition exists to overlap.
+type LaneClock struct {
+	now Time
+	_   [56]byte
+}
+
+// Now returns the lane's current time.
+func (l *LaneClock) Now() Time { return l.now }
+
+// Advance moves the lane forward by d (negative durations are clamped
+// to zero) and returns the new lane time.
+func (l *LaneClock) Advance(d Duration) Time {
+	if d > 0 {
+		l.now = l.now.Add(d)
+	}
+	return l.now
+}

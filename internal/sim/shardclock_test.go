@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedClockMerge(t *testing.T) {
+	c := NewShardedClock(Time(1000), 3)
+	if c.Base() != 1000 {
+		t.Fatalf("base = %v, want 1000", c.Base())
+	}
+	if got := c.Merge(); got != 1000 {
+		t.Fatalf("empty merge = %v, want base 1000", got)
+	}
+	c.Lane(0).Advance(50)
+	c.Lane(2).Advance(10)
+	c.Lane(2).Advance(300)
+	c.Lane(1).Advance(-40) // clamped: lanes never move backwards
+	if got := c.Lane(1).Now(); got != 1000 {
+		t.Fatalf("lane 1 after negative advance = %v, want 1000", got)
+	}
+	if got := c.Merge(); got != 1310 {
+		t.Fatalf("merge = %v, want 1310 (max lane end)", got)
+	}
+}
+
+// TestShardedClockDeterminism advances lanes from concurrent goroutines
+// and checks the merge is the same as the serial computation — the
+// bit-identical-replay property the parallel host path relies on.
+func TestShardedClockDeterminism(t *testing.T) {
+	const lanes = 8
+	for trial := 0; trial < 50; trial++ {
+		c := NewShardedClock(Time(trial), lanes)
+		var wg sync.WaitGroup
+		for i := 0; i < lanes; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j <= i; j++ {
+					c.Lane(i).Advance(Duration(100 * (i + 1)))
+				}
+			}(i)
+		}
+		wg.Wait()
+		// Lane i advances (i+1) times by 100*(i+1): max is lane 7 at
+		// 8*800 = 6400 past base.
+		if got, want := c.Merge(), Time(trial).Add(6400); got != want {
+			t.Fatalf("trial %d: merge = %v, want %v", trial, got, want)
+		}
+	}
+}

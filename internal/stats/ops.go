@@ -64,6 +64,12 @@ func (c *OpCounters) Add(other OpCounters) {
 // OpStats is the per-kind operation accounting for a device.
 type OpStats struct {
 	ops [NumOpKinds]OpCounters
+
+	// flushCleanOverlap accumulates simulated time during which at
+	// least one flush program and one cleaning copy were progressing
+	// simultaneously — the §6 cleaner-acceleration overlap the
+	// bank-steered placement is after.
+	flushCleanOverlap sim.Duration
 }
 
 // Get returns the counters for kind k.
@@ -88,7 +94,16 @@ func (s *OpStats) Add(other OpStats) {
 	for k := range s.ops {
 		s.ops[k].Add(other.ops[k])
 	}
+	s.flushCleanOverlap += other.flushCleanOverlap
 }
+
+// FlushCleanOverlap returns the accumulated time flush programs and
+// cleaning copies spent progressing concurrently.
+func (s *OpStats) FlushCleanOverlap() sim.Duration { return s.flushCleanOverlap }
+
+// AddFlushCleanOverlap charges d of flush/clean concurrent progress;
+// the scheduler calls it while both op kinds are in the running set.
+func (s *OpStats) AddFlushCleanOverlap(d sim.Duration) { s.flushCleanOverlap += d }
 
 // Reset zeroes all per-op counters.
 func (s *OpStats) Reset() { *s = OpStats{} }

@@ -22,6 +22,8 @@ type Latency struct {
 	sum     int64
 	min     int64
 	max     int64
+	lastD   sim.Duration // memo: bucketFor(lastD) == lastI (zero value is valid)
+	lastI   int
 	buckets [128]int64 // bucket i covers [2^(i/4) ns ...), quarter-powers of two
 }
 
@@ -40,7 +42,10 @@ func bucketFor(d sim.Duration) int {
 	return i
 }
 
-// Record adds one sample.
+// Record adds one sample. Successive samples tend to repeat (a device
+// access path produces a handful of distinct latencies), so the bucket
+// index is memoized: the floating-point log in bucketFor dominates the
+// lane hot path otherwise.
 func (l *Latency) Record(d sim.Duration) {
 	v := int64(d)
 	if l.count == 0 || v < l.min {
@@ -51,7 +56,32 @@ func (l *Latency) Record(d sim.Duration) {
 	}
 	l.count++
 	l.sum += v
-	l.buckets[bucketFor(d)]++
+	if d != l.lastD {
+		l.lastD = d
+		l.lastI = bucketFor(d)
+	}
+	l.buckets[l.lastI]++
+}
+
+// Merge folds another histogram's samples into l. Merging is exactly
+// equivalent to having Recorded the other histogram's samples here:
+// counts, sums, extrema, and buckets all add, so percentile queries
+// cannot tell merged and sequentially-recorded histograms apart.
+func (l *Latency) Merge(o *Latency) {
+	if o.count == 0 {
+		return
+	}
+	if l.count == 0 || o.min < l.min {
+		l.min = o.min
+	}
+	if l.count == 0 || o.max > l.max {
+		l.max = o.max
+	}
+	l.count += o.count
+	l.sum += o.sum
+	for i := range l.buckets {
+		l.buckets[i] += o.buckets[i]
+	}
 }
 
 // Count returns the number of recorded samples.
