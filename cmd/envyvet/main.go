@@ -1,6 +1,7 @@
 // Command envyvet runs the module's static-analysis suite (simtime,
-// flashstate, panicpolicy, exhaustive, schedstate, shardlock — see
-// internal/analysis) in two modes.
+// flashstate, panicpolicy, exhaustive, schedstate, shardlock,
+// banklock, lanepurity, maporder, claimgraph — see internal/analysis)
+// in two modes.
 //
 // Standalone, for humans:
 //
@@ -8,8 +9,11 @@
 //
 // shells out to `go list -deps -export -test -json` for package facts
 // and compiler export data, type-checks every module package
-// (including test variants) from source, and prints findings as
-// file:line:col: message, exiting nonzero if there are any.
+// (including test variants) from source in dependency order with one
+// shared fact store — so the cross-package analyzers see their
+// dependencies' facts — and prints findings as file:line:col: message,
+// exiting nonzero if there are any. Stale //envyvet:allow directives
+// are findings too.
 //
 // As a vet tool, for CI and `go vet` caching:
 //
@@ -17,26 +21,29 @@
 //	go vet -vettool=$(pwd)/envyvet ./...
 //
 // speaks the go vet unitchecker protocol: -V=full for the tool
-// fingerprint, then one .cfg JSON file per package naming its sources
-// and the export data of its dependencies.
+// fingerprint, then one .cfg JSON file per package naming its sources,
+// the export data of its dependencies, and their .vetx fact files.
+// Facts serialize through the .vetx files, so cross-package analysis
+// works identically under go vet — dependency packages are analyzed
+// fact-only (VetxOnly), with their diagnostics suppressed.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
 
 	"envy/internal/analysis"
+
+	"go/ast"
 )
 
 func main() {
@@ -74,61 +81,30 @@ func printVersion() {
 	fmt.Printf("%s version 1.0.0-%x\n", name, h.Sum(nil)[:16])
 }
 
-// scrubImportPath removes the " [pkg.test]" disambiguator go appends
-// to test-variant import paths, so analyzers see the declared path.
-func scrubImportPath(path string) string {
-	if i := strings.Index(path, " ["); i >= 0 {
-		return path[:i]
-	}
-	return path
-}
+// ---------------- standalone driver ----------------
 
-// newInfo allocates the type-checker result maps the analyzers need.
-func newInfo() *types.Info {
-	return &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-	}
-}
-
-// analyzePackage runs the whole suite over one type-checked package
-// and prints findings; it returns the number found. seen (optional)
-// dedupes repeats: with `go list -test`, a package with in-package
-// test files is analyzed twice — plain and test-augmented — and its
-// non-test files would otherwise report everything twice.
-func analyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, seen map[string]bool) int {
-	var diags []analysis.Diagnostic
-	for _, a := range analysis.All() {
-		if err := analysis.Run(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
-			diags = append(diags, d)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "envyvet: %s on %s: %v\n", a.Name, pkg.Path(), err)
-		}
-	}
-	analysis.SortDiagnostics(fset, diags)
-	count := 0
-	for _, d := range diags {
-		line := fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message)
-		if seen != nil {
-			if seen[line] {
-				continue
-			}
-			seen[line] = true
-		}
+func runStandalone(patterns []string) int {
+	findings, err := analysis.CheckModule(patterns)
+	for _, line := range findings {
 		fmt.Fprintln(os.Stderr, line)
-		count++
 	}
-	return count
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+		return 1
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
 }
 
 // ---------------- go vet unitchecker protocol ----------------
 
 // vetConfig is the package description the go command writes for a
 // vet tool (the fields of x/tools' unitchecker.Config this driver
-// consumes).
+// consumes). PackageVetx maps each dependency's import path to the
+// .vetx fact file its own envyvet invocation wrote; VetxOutput is
+// where this invocation must leave its facts.
 type vetConfig struct {
 	Compiler                  string
 	Dir                       string
@@ -137,6 +113,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -152,17 +129,6 @@ func runUnitchecker(cfgFile string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "envyvet: parsing %s: %v\n", cfgFile, err)
 		return 1
-	}
-	// This suite keeps no cross-package facts, but the protocol
-	// requires the facts file to exist for dependent packages.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -190,8 +156,8 @@ func runUnitchecker(cfgFile string) int {
 		return os.Open(file)
 	})
 	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
-	info := newInfo()
-	pkg, err := conf.Check(scrubImportPath(cfg.ImportPath), fset, files, info)
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(analysis.ScrubImportPath(cfg.ImportPath), fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -199,109 +165,42 @@ func runUnitchecker(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
 		return 1
 	}
-	if analyzePackage(fset, files, pkg, info, nil) > 0 {
-		return 2
-	}
-	return 0
-}
 
-// ---------------- standalone driver ----------------
-
-// listPackage is the subset of `go list -json` output the standalone
-// loader consumes.
-type listPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	ImportMap  map[string]string
-	Export     string
-	Standard   bool
-	Module     *struct{ Path string }
-}
-
-func runStandalone(patterns []string) int {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	args := append([]string{"list", "-deps", "-export", "-test", "-json"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	out, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "envyvet: go list: %v\n", err)
-		return 1
-	}
-
-	exports := make(map[string]string)
-	var targets []*listPackage
-	dec := json.NewDecoder(strings.NewReader(string(out)))
-	for dec.More() {
-		p := new(listPackage)
-		if err := dec.Decode(p); err != nil {
-			fmt.Fprintf(os.Stderr, "envyvet: decoding go list output: %v\n", err)
+	// Rebuild the fact store from the dependencies' .vetx files, run
+	// the suite (quietly for VetxOnly dependency passes), and leave
+	// this package's accumulated facts for its dependents.
+	store := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
 			return 1
 		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+		if err := store.Merge(data); err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: %s: %v\n", vetx, err)
+			return 1
 		}
-		switch {
-		case p.Standard, p.Module == nil, len(p.GoFiles) == 0:
-			continue // outside the module, or nothing to analyze
-		case strings.HasSuffix(p.ImportPath, ".test"):
-			continue // generated test main
-		}
-		targets = append(targets, p)
 	}
-
-	fset := token.NewFileSet()
-	findings, failed := 0, false
-	seen := make(map[string]bool)
-	for _, p := range targets {
-		var files []*ast.File
-		parseFailed := false
-		for _, name := range p.GoFiles {
-			if !filepath.IsAbs(name) {
-				name = filepath.Join(p.Dir, name)
-			}
-			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
-				parseFailed = true
-				break
-			}
-			files = append(files, f)
-		}
-		if parseFailed {
-			failed = true
-			continue
-		}
-		// A fresh importer per package: test-variant import maps can
-		// bind the same path to different export data, so the
-		// importer's internal cache must not leak across packages.
-		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-			if canonical, ok := p.ImportMap[path]; ok {
-				path = canonical
-			}
-			file, ok := exports[path]
-			if !ok {
-				return nil, fmt.Errorf("no export data for %q", path)
-			}
-			return os.Open(file)
-		})
-		conf := types.Config{Importer: imp}
-		info := newInfo()
-		pkg, err := conf.Check(scrubImportPath(p.ImportPath), fset, files, info)
+	unit := &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	findings := analysis.CheckPackage(unit, store)
+	if cfg.VetxOutput != "" {
+		facts, err := store.Encode()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "envyvet: type-checking %s: %v\n", p.ImportPath, err)
-			failed = true
-			continue
+			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+			return 1
 		}
-		findings += analyzePackage(fset, files, pkg, info, seen)
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "envyvet: %v\n", err)
+			return 1
+		}
 	}
-	if failed {
-		return 1
+	if cfg.VetxOnly {
+		return 0
 	}
-	if findings > 0 {
+	for _, line := range findings {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(findings) > 0 {
 		return 2
 	}
 	return 0

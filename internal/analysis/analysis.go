@@ -2,22 +2,33 @@
 // the go/analysis model: an Analyzer inspects one type-checked package
 // and reports Diagnostics. It exists because this module vendors no
 // external tooling — the envyvet checkers (simtime, flashstate,
-// panicpolicy, exhaustive, schedstate, shardlock) are built on it, and
-// cmd/envyvet drives them both standalone and under `go vet -vettool`.
+// panicpolicy, exhaustive, schedstate, shardlock, banklock, lanepurity,
+// maporder, claimgraph) are built on it, and cmd/envyvet drives them
+// both standalone and under `go vet -vettool`.
 //
 // The deliberate differences from golang.org/x/tools/go/analysis:
 //
-//   - No Facts and no Requires graph: every analyzer here is a single
-//     whole-package pass, so cross-package state is unnecessary.
+//   - Facts are module-scoped, not per-analyzer-typed: a FactStore
+//     carries per-function and per-package facts across packages
+//     analyzed in dependency order, and the stores serialize to JSON
+//     so the `go vet` unitchecker path can thread them through .vetx
+//     files. There is no Requires graph — every analyzer runs over
+//     every package.
 //
 //   - Built-in suppression: a line comment of the form
 //
-//     //envyvet:allow <analyzer> [<analyzer>...]
+//     //envyvet:allow <analyzer> [<analyzer>...] [— justification]
 //
-//     on the offending line, or alone on the line above it, silences
-//     the named analyzers (or every analyzer, with the name "all") for
-//     that line. Invariant-corruption tests use this to mutate guarded
-//     state deliberately.
+//     on the offending line, or on the line immediately above it
+//     (matching the //nolint convention), silences the named analyzers
+//     (or every analyzer, with the name "all") for that line. Tokens
+//     after the analyzer names that are not registered analyzer names
+//     are treated as free-form justification. Invariant-corruption
+//     tests use this to mutate guarded state deliberately.
+//
+//   - Suppressions are audited: drivers record which directives
+//     actually suppressed a diagnostic and report the ones that no
+//     longer suppress anything, so allowlist comments cannot rot.
 package analysis
 
 import (
@@ -43,8 +54,17 @@ type Diagnostic struct {
 	Message string
 }
 
-// A Pass hands one type-checked package to an analyzer. TypesInfo must
-// be populated with at least Types, Uses, Defs, and Selections.
+// A Package is one type-checked unit of analysis. TypesInfo must be
+// populated with at least Types, Uses, Defs, and Selections.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// A Pass hands one type-checked package to an analyzer, together with
+// the fact store shared across the whole run.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -52,6 +72,8 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store   *FactStore
+	audit   *SuppressionAudit
 	report  func(Diagnostic)
 	allowed map[lineKey]map[string]bool
 }
@@ -63,10 +85,21 @@ type lineKey struct {
 }
 
 // Reportf records a diagnostic at pos unless an //envyvet:allow
-// comment suppresses this analyzer on that line.
+// comment suppresses this analyzer on that line. Suppressed
+// diagnostics are recorded in the pass's audit (when one is attached)
+// so stale directives can be detected.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
-	if names := p.allowed[lineKey{position.Filename, position.Line}]; names[p.Analyzer.Name] || names["all"] {
+	key := lineKey{position.Filename, position.Line}
+	if names := p.allowed[key]; names[p.Analyzer.Name] || names["all"] {
+		if p.audit != nil {
+			if names[p.Analyzer.Name] {
+				p.audit.markUsed(key, p.Analyzer.Name)
+			}
+			if names["all"] {
+				p.audit.markUsed(key, "all")
+			}
+		}
 		return
 	}
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
@@ -77,26 +110,90 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// Run applies one analyzer to one package, delivering diagnostics that
-// survive suppression to report.
+// ExportFunctionFact records a fact about a function declared in this
+// package, for later passes over importing packages. The fact must
+// marshal to JSON.
+func (p *Pass) ExportFunctionFact(fn *types.Func, fact any) {
+	p.store.exportFunc(p.Analyzer.Name, FuncKey(fn), fact)
+}
+
+// ImportFunctionFact loads a previously exported fact about fn into
+// out (a pointer), reporting whether one was found. Facts exist only
+// for module functions whose package was analyzed earlier in
+// dependency order.
+func (p *Pass) ImportFunctionFact(fn *types.Func, out any) bool {
+	return p.store.importFunc(p.Analyzer.Name, FuncKey(fn), out)
+}
+
+// ExportPackageFact records a fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact any) {
+	p.store.exportPkg(p.Analyzer.Name, p.Pkg.Path(), fact)
+}
+
+// PackageFactPaths returns, in sorted order, the import paths of every
+// package that exported a fact for this analyzer.
+func (p *Pass) PackageFactPaths() []string {
+	return p.store.pkgPaths(p.Analyzer.Name)
+}
+
+// ImportPackageFact loads the package fact exported by path into out
+// (a pointer), reporting whether one was found.
+func (p *Pass) ImportPackageFact(path string, out any) bool {
+	return p.store.importPkg(p.Analyzer.Name, path, out)
+}
+
+// Run applies one analyzer to one package with a throwaway fact store,
+// delivering diagnostics that survive suppression to report. It is the
+// single-package entry point used by fixtures without cross-package
+// dependencies; whole-program drivers use RunPackage with a shared
+// store and audit.
 func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) error {
+	return RunPackage(a, &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, NewFactStore(), nil, report)
+}
+
+// RunPackage applies one analyzer to one package. Facts read and
+// written by the analyzer go through store; suppressed diagnostics are
+// recorded in audit when it is non-nil.
+func RunPackage(a *Analyzer, unit *Package, store *FactStore, audit *SuppressionAudit, report func(Diagnostic)) error {
 	pass := &Pass{
 		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
+		Fset:      unit.Fset,
+		Files:     unit.Files,
+		Pkg:       unit.Pkg,
+		TypesInfo: unit.TypesInfo,
+		store:     store,
+		audit:     audit,
 		report:    report,
-		allowed:   suppressions(fset, files),
+		allowed:   suppressions(unit.Fset, unit.Files),
 	}
 	return a.Run(pass)
 }
 
-// suppressions indexes every //envyvet:allow comment by the lines it
-// covers: its own line (trailing-comment form) and the next line
-// (comment-above form).
-func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
-	allowed := make(map[lineKey]map[string]bool)
+// A directive is one parsed //envyvet:allow comment.
+type directive struct {
+	pos   token.Pos
+	file  string
+	line  int      // the comment's own line
+	names []string // recognized analyzer names (or "all"), in comment order
+}
+
+// registeredNames returns the set of analyzer names plus "all",
+// computed lazily so parsing can stop the name list at the first
+// free-form justification token.
+func registeredNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// parseDirectives extracts every //envyvet:allow comment from files.
+// Tokens after the last recognized analyzer name are justification
+// text and are ignored.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	known := registeredNames()
+	var out []directive
 	for _, f := range files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
@@ -104,29 +201,92 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string
 				if !ok {
 					continue
 				}
-				names := strings.Fields(text)
+				var names []string
+				for _, field := range strings.Fields(text) {
+					if !known[field] {
+						break
+					}
+					names = append(names, field)
+				}
 				if len(names) == 0 {
 					continue
 				}
 				position := fset.Position(c.Pos())
-				for _, line := range []int{position.Line, position.Line + 1} {
-					key := lineKey{position.Filename, line}
-					if allowed[key] == nil {
-						allowed[key] = make(map[string]bool)
-					}
-					for _, name := range names {
-						allowed[key][name] = true
-					}
-				}
+				out = append(out, directive{pos: c.Pos(), file: position.Filename, line: position.Line, names: names})
+			}
+		}
+	}
+	return out
+}
+
+// suppressions indexes every //envyvet:allow comment by the lines it
+// covers: its own line (trailing-comment form) and the next line
+// (comment-above form, matching the //nolint convention).
+func suppressions(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
+	allowed := make(map[lineKey]map[string]bool)
+	for _, d := range parseDirectives(fset, files) {
+		for _, line := range []int{d.line, d.line + 1} {
+			key := lineKey{d.file, line}
+			if allowed[key] == nil {
+				allowed[key] = make(map[string]bool)
+			}
+			for _, name := range d.names {
+				allowed[key][name] = true
 			}
 		}
 	}
 	return allowed
 }
 
+// A SuppressionAudit records which suppression directives actually
+// suppressed a diagnostic during a run, so the driver can flag the
+// ones that no longer suppress anything. One audit covers one package
+// across every analyzer in the suite.
+type SuppressionAudit struct {
+	used map[lineKey]map[string]bool
+}
+
+// NewSuppressionAudit returns an empty audit.
+func NewSuppressionAudit() *SuppressionAudit {
+	return &SuppressionAudit{used: make(map[lineKey]map[string]bool)}
+}
+
+func (a *SuppressionAudit) markUsed(key lineKey, name string) {
+	if a.used[key] == nil {
+		a.used[key] = make(map[string]bool)
+	}
+	a.used[key][name] = true
+}
+
+// StaleSuppressions returns one diagnostic per //envyvet:allow name in
+// files that suppressed no diagnostic during the audited run. Run it
+// only after every analyzer in the suite has run over the package with
+// the same audit.
+func StaleSuppressions(fset *token.FileSet, files []*ast.File, audit *SuppressionAudit) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range parseDirectives(fset, files) {
+		for _, name := range d.names {
+			used := false
+			for _, line := range []int{d.line, d.line + 1} {
+				if audit.used[lineKey{d.file, line}][name] {
+					used = true
+					break
+				}
+			}
+			if !used {
+				out = append(out, Diagnostic{
+					Pos:     d.pos,
+					Message: fmt.Sprintf("suppress: //envyvet:allow %s suppresses no diagnostic; delete the stale directive", name),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // All returns the full envyvet suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate, Shardlock, Banklock}
+	return []*Analyzer{Simtime, Flashstate, Panicpolicy, Exhaustive, Schedstate, Shardlock, Banklock, Lanepurity, Maporder, Claimgraph}
 }
 
 // SortDiagnostics orders diagnostics by file position for stable

@@ -135,7 +135,52 @@ func runFixture(t *testing.T, a *analysis.Analyzer, path string) {
 		t.Fatalf("%s on %s: %v", a.Name, path, err)
 	}
 	analysis.SortDiagnostics(fset, got)
+	matchWants(t, a, fset, files, got)
+}
 
+// runFixtureFacts checks one analyzer against a target fixture package
+// after analyzing its fixture dependencies, in order, with a shared
+// fact store — the in-test analogue of the driver's dependency-order
+// pass. Diagnostics in dependencies are discarded; only the target's
+// are matched against its want comments.
+func runFixtureFacts(t *testing.T, a *analysis.Analyzer, deps []string, target string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{fset: fset, pkgs: make(map[string]*types.Package)}
+	store := analysis.NewFactStore()
+	load := func(path string) *analysis.Package {
+		files, err := parseFixture(fset, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := analysis.NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", path, err)
+		}
+		imp.pkgs[path] = pkg
+		return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	}
+	for _, dep := range deps {
+		if err := analysis.RunPackage(a, load(dep), store, nil, func(analysis.Diagnostic) {}); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, dep, err)
+		}
+	}
+	unit := load(target)
+	var got []analysis.Diagnostic
+	if err := analysis.RunPackage(a, unit, store, nil, func(d analysis.Diagnostic) {
+		got = append(got, d)
+	}); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, target, err)
+	}
+	analysis.SortDiagnostics(fset, got)
+	matchWants(t, a, fset, unit.Files, got)
+}
+
+// matchWants lines the diagnostics up against the files' want comments.
+func matchWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, a, fset, files)
 	for _, d := range got {
 		pos := fset.Position(d.Pos)
@@ -196,7 +241,98 @@ func TestBanklock(t *testing.T) {
 	runFixture(t, analysis.Banklock, "envy/internal/pagetable") // out of scope: clean
 }
 
-// TestAll pins the suite contents: drivers and CI rely on these seven.
+func TestLanepurity(t *testing.T) {
+	// The sched fixture's effect facts must be in the store before the
+	// lane entries in the core fixture are checked.
+	runFixtureFacts(t, analysis.Lanepurity, []string{"envy/internal/sched"}, "envy/internal/core")
+	runFixture(t, analysis.Lanepurity, "envy/internal/sched") // writes, but no lane entries: clean
+}
+
+func TestMaporder(t *testing.T) {
+	runFixture(t, analysis.Maporder, "envy/internal/stats") // map iteration order rules
+	// Cross-package taint: wallhelp's wall-clock facts first.
+	runFixtureFacts(t, analysis.Maporder, []string{"envy/internal/wallhelp"}, "envy/internal/core")
+	runFixture(t, analysis.Maporder, "envy/internal/wallhelp") // taint source outside the simulation: clean
+}
+
+func TestClaimgraph(t *testing.T) {
+	// Rank violation and cycle assembled from claims' and rlock's facts.
+	runFixtureFacts(t, analysis.Claimgraph, []string{"envy/internal/claims", "envy/internal/rlock"}, "envy/internal/lockuser")
+	runFixture(t, analysis.Claimgraph, "envy/internal/claims")    // A→B alone, no cycle: clean
+	runFixture(t, analysis.Claimgraph, "envy/internal/pagetable") // same-class sweeps only: clean
+}
+
+// TestStaleSuppressions pins the suppression audit: a directive that
+// suppresses a real diagnostic is live; one that suppresses nothing is
+// reported stale.
+func TestStaleSuppressions(t *testing.T) {
+	const src = `package stats
+
+// mergeCounts iterates a map in an order-sensitive way on purpose; the
+// directive on the line above the range covers it.
+func mergeCounts(m map[uint32]int64, out []int64) []int64 {
+	//envyvet:allow maporder fixture exercises a live suppression
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// stale carries a directive with nothing to suppress.
+func stale() {
+	//envyvet:allow maporder nothing here violates anything
+	_ = 0
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: &fixtureImporter{fset: fset, pkgs: make(map[string]*types.Package)}}
+	pkg, err := conf.Check("envy/internal/stats", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	audit := analysis.NewSuppressionAudit()
+	if err := analysis.RunPackage(analysis.Maporder, unit, analysis.NewFactStore(), audit, func(d analysis.Diagnostic) {
+		t.Errorf("diagnostic escaped a live suppression: %s", d.Message)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	staleDiags := analysis.StaleSuppressions(fset, files, audit)
+	if len(staleDiags) != 1 {
+		t.Fatalf("StaleSuppressions returned %d diagnostics, want 1", len(staleDiags))
+	}
+	d := staleDiags[0]
+	if !strings.Contains(d.Message, "//envyvet:allow maporder suppresses no diagnostic") {
+		t.Errorf("stale message = %q", d.Message)
+	}
+	if line := fset.Position(d.Pos).Line; line != 15 {
+		t.Errorf("stale directive reported at line %d, want 15", line)
+	}
+}
+
+// TestRepoSelfCheck runs the full suite over the real module: the
+// analyzers must hold their own codebase at zero findings, including
+// zero stale suppressions.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := analysis.CheckModule([]string{"envy/..."})
+	if err != nil {
+		t.Fatalf("CheckModule: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestAll pins the suite contents: drivers and CI rely on these ten.
 func TestAll(t *testing.T) {
 	var names []string
 	for _, a := range analysis.All() {
@@ -204,7 +340,7 @@ func TestAll(t *testing.T) {
 	}
 	sort.Strings(names)
 	joined := strings.Join(names, " ")
-	if joined != "banklock exhaustive flashstate panicpolicy schedstate shardlock simtime" {
+	if joined != "banklock claimgraph exhaustive flashstate lanepurity maporder panicpolicy schedstate shardlock simtime" {
 		t.Fatalf("analyzer suite = %q", joined)
 	}
 }

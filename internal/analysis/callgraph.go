@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declaredFuncs returns every function and method declared in the
+// package, in file and source order, paired with its types.Func object.
+// Declarations without bodies (assembly stubs) are skipped.
+type declFunc struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+func declaredFuncs(pass *Pass) []declFunc {
+	var out []declFunc
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, declFunc{decl: fd, obj: obj})
+		}
+	}
+	return out
+}
+
+// staticCallee resolves the *types.Func a call expression statically
+// invokes: a plain function call (`f(...)`, `pkg.F(...)`) or a method
+// call on a concrete receiver (`x.M(...)`). Calls through interfaces,
+// function-typed values, and built-ins resolve to nil — the analyzers
+// built on this graph are deliberately conservative about dynamic
+// dispatch, which the simulator core barely uses.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method call on a concrete value. Interface method calls
+			// have no static implementation; skip them.
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if !types.IsInterface(sel.Recv()) {
+					return fn
+				}
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// displayName renders a function object for diagnostics: Recv.Name for
+// methods, plain Name otherwise, qualified with the package path when
+// it differs from the package under analysis.
+func displayName(pkg *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := receiverNamed(recv.Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pkg {
+		return fn.Pkg().Path() + "." + name
+	}
+	return name
+}
+
+// receiverNamed unwraps a receiver type to its *types.Named, looking
+// through one level of pointer, or nil.
+func receiverNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// namedOf unwraps any expression type to its *types.Named through
+// pointers, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			named, _ := types.Unalias(t).(*types.Named)
+			return named
+		}
+	}
+}
+
+// typeClass renders a named type as "pkgpath.TypeName", or "" when the
+// type is unnamed or package-less.
+func typeClass(named *types.Named) string {
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// A FactStore carries analyzer facts across packages. Drivers analyze
+// packages in dependency order with one shared store, so a pass over
+// an importing package can read the facts its dependencies exported.
+// Facts are stored serialized (JSON) for two reasons: it keeps the
+// in-memory and `go vet`-unitchecker representations identical, and it
+// forces facts to be position-independent data rather than live AST or
+// type references, which would not survive a process boundary.
+type FactStore struct {
+	funcs map[string]map[string]json.RawMessage // analyzer -> function key -> fact
+	pkgs  map[string]map[string]json.RawMessage // analyzer -> package path -> fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		funcs: make(map[string]map[string]json.RawMessage),
+		pkgs:  make(map[string]map[string]json.RawMessage),
+	}
+}
+
+// FuncKey returns the stable cross-package key for a function object:
+// the package path, the receiver type name for methods, and the
+// function name. Pointerness of the receiver is erased — a method set
+// has one implementation either way.
+func FuncKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name() // builtins such as error.Error
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+func (s *FactStore) exportFunc(analyzer, key string, fact any) {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: marshaling %s fact for %s: %v", analyzer, key, err))
+	}
+	if s.funcs[analyzer] == nil {
+		s.funcs[analyzer] = make(map[string]json.RawMessage)
+	}
+	s.funcs[analyzer][key] = data
+}
+
+func (s *FactStore) importFunc(analyzer, key string, out any) bool {
+	data, ok := s.funcs[analyzer][key]
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		panic(fmt.Sprintf("analysis: unmarshaling %s fact for %s: %v", analyzer, key, err))
+	}
+	return true
+}
+
+func (s *FactStore) exportPkg(analyzer, path string, fact any) {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: marshaling %s package fact for %s: %v", analyzer, path, err))
+	}
+	if s.pkgs[analyzer] == nil {
+		s.pkgs[analyzer] = make(map[string]json.RawMessage)
+	}
+	s.pkgs[analyzer][path] = data
+}
+
+func (s *FactStore) importPkg(analyzer, path string, out any) bool {
+	data, ok := s.pkgs[analyzer][path]
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		panic(fmt.Sprintf("analysis: unmarshaling %s package fact for %s: %v", analyzer, path, err))
+	}
+	return true
+}
+
+// pkgPaths returns the sorted package paths holding a fact for the
+// analyzer: map iteration order must never reach diagnostic output.
+func (s *FactStore) pkgPaths(analyzer string) []string {
+	paths := make([]string, 0, len(s.pkgs[analyzer]))
+	for path := range s.pkgs[analyzer] {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// vetxFile is the serialized form threaded through `go vet` .vetx
+// files (and usable anywhere a byte-stream boundary separates passes).
+type vetxFile struct {
+	Funcs map[string]map[string]json.RawMessage `json:"funcs,omitempty"`
+	Pkgs  map[string]map[string]json.RawMessage `json:"pkgs,omitempty"`
+}
+
+// Encode serializes every fact in the store.
+func (s *FactStore) Encode() ([]byte, error) {
+	return json.Marshal(vetxFile{Funcs: s.funcs, Pkgs: s.pkgs})
+}
+
+// Merge folds previously encoded facts into the store. Empty input is
+// allowed (a dependency outside the module exports nothing).
+func (s *FactStore) Merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var f vetxFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for analyzer, m := range f.Funcs {
+		if s.funcs[analyzer] == nil {
+			s.funcs[analyzer] = make(map[string]json.RawMessage)
+		}
+		for key, fact := range m {
+			s.funcs[analyzer][key] = fact
+		}
+	}
+	for analyzer, m := range f.Pkgs {
+		if s.pkgs[analyzer] == nil {
+			s.pkgs[analyzer] = make(map[string]json.RawMessage)
+		}
+		for path, fact := range m {
+			s.pkgs[analyzer][path] = fact
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package claims is a claimgraph fixture: two lock-owning types whose
+// helpers establish an A→B acquisition edge. The package itself is
+// clean — the cycle appears only when another package acquires B
+// before A, which only the whole-program graph can see.
+package claims
+
+import "sync"
+
+// A is the first lock owner.
+type A struct {
+	mu sync.Mutex
+}
+
+// B is the second lock owner.
+type B struct {
+	mu sync.Mutex
+}
+
+// LockBoth acquires A then B — this package's canonical order.
+func LockBoth(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+// UnlockBoth releases both.
+func UnlockBoth(a *A, b *B) {
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// LockA acquires just A.
+func LockA(a *A) { a.mu.Lock() }
+
+// UnlockA releases A.
+func UnlockA(a *A) { a.mu.Unlock() }
+
+// Grab acquires B and holds it for the caller.
+func (b *B) Grab() { b.mu.Lock() }
+
+// Drop releases B.
+func (b *B) Drop() { b.mu.Unlock() }

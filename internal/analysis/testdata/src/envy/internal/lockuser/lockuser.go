@@ -1,0 +1,43 @@
+// Package lockuser is a claimgraph fixture: it acquires locks owned by
+// the claims and rlock fixtures through their helpers, so every edge
+// here depends on imported function facts, and the deadlock cycle
+// closes only through the acquisition edge the claims package exports.
+package lockuser
+
+import (
+	"envy/internal/claims"
+	"envy/internal/rlock"
+)
+
+// goodOrder follows the canonical order — shards before banks. Clean.
+func goodOrder(t *rlock.Table) {
+	t.LockShards()
+	t.LockBank1()
+	t.UnlockBank1()
+	t.UnlockShards()
+}
+
+// badOrder takes a shard lock while a bank lock is held: a rank
+// violation assembled entirely from imported facts.
+func badOrder(t *rlock.Table) {
+	t.LockBank1()
+	t.LockShards() // want `claimgraph: envy/internal/rlock\.Table\.shards\[1\] at helpers\.go:\d+ via envy/internal/rlock\.Table\.LockShards acquired while envy/internal/rlock\.Table\.banks is held`
+	t.UnlockShards()
+	t.UnlockBank1()
+}
+
+// pairedUse takes both claims locks in that package's canonical A→B
+// order. Clean.
+func pairedUse(a *claims.A, b *claims.B) {
+	claims.LockBoth(a, b)
+	claims.UnlockBoth(a, b)
+}
+
+// badCycle grabs B first and then A, closing a cycle against the A→B
+// edge that claims.LockBoth exports.
+func badCycle(a *claims.A, b *claims.B) {
+	b.Grab()
+	claims.LockA(a) // want `claimgraph: lock-order cycle envy/internal/claims\.B\.mu → envy/internal/claims\.A\.mu → envy/internal/claims\.B\.mu`
+	claims.UnlockA(a)
+	b.Drop()
+}

@@ -1,0 +1,25 @@
+// Claimgraph fixture additions: helpers that hold or release one lock
+// on the caller's behalf, so the acquisition graph must thread the
+// held set through function facts. Each helper is clean for banklock —
+// no function here ever holds two locks at once.
+package rlock
+
+// LockShards takes shard 1 and holds it for the caller.
+func (t *Table) LockShards() {
+	t.shards[1].Lock()
+}
+
+// UnlockShards gives shard 1 back.
+func (t *Table) UnlockShards() {
+	t.shards[1].Unlock()
+}
+
+// LockBank1 takes bank 1 and holds it for the caller.
+func (t *Table) LockBank1() {
+	t.banks[1].Lock()
+}
+
+// UnlockBank1 gives bank 1 back.
+func (t *Table) UnlockBank1() {
+	t.banks[1].Unlock()
+}

@@ -1,0 +1,19 @@
+// Lanepurity fixture additions: package-level and shared-structure
+// mutators for lanes in other packages to reach. The sched fixture is
+// analyzed before the core fixture, so these functions' effect facts
+// are in the store when the lane entries are checked.
+package sched
+
+// pendingOps counts queued background operations package-wide.
+var pendingOps int
+
+// EnqueueGlobal bumps the package-wide counter: legal from the serial
+// phases, a violation when reached from a lane.
+func EnqueueGlobal() {
+	pendingOps++
+}
+
+// Reset reinstalls the bank set: a write to shared Scheduler state.
+func (s *Scheduler) Reset() {
+	s.banks = bankSet{}
+}

@@ -1,0 +1,85 @@
+// Maporder fixture (part one): merge paths where Go map iteration
+// order must not reach the simulated outcome. Order-insensitive bodies
+// — commutative accumulation, constant set inserts, deletes, and the
+// append-then-sort idiom — are clean; everything else must iterate a
+// sorted key slice.
+package stats
+
+import "sort"
+
+// sumCounts accumulates commutatively. Clean.
+func sumCounts(m map[uint32]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// markSeen performs constant set inserts. Clean.
+func markSeen(m map[uint32]int64, seen map[uint32]bool) {
+	for k := range m {
+		seen[k] = true
+	}
+}
+
+// sortedMerge collects keys, sorts them, then merges. Clean — the
+// canonical idiom this analyzer exists to enforce.
+func sortedMerge(m map[uint32]int64, out []int64) []int64 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// countMatching counts with an early constant exit. Clean.
+func countMatching(m map[uint32]int64, limit int) bool {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+		if n >= limit {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneZero deletes as it goes. Clean.
+func pruneZero(m map[uint32]int64) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// appendUnsorted emits values in iteration order.
+func appendUnsorted(m map[uint32]int64, out []int64) []int64 {
+	for _, v := range m { // want `maporder: map iteration order can reach simulated outcome`
+		out = append(out, v)
+	}
+	return out
+}
+
+// copyThrough stores a non-constant value per entry; the heuristic
+// cannot prove the stores commute.
+func copyThrough(m, out map[uint32]int64) {
+	for k, v := range m { // want `maporder: map iteration order can reach simulated outcome`
+		out[k] = v
+	}
+}
+
+// firstValue returns whichever entry iteration happens to visit first.
+func firstValue(m map[uint32]int64) int64 {
+	for _, v := range m { // want `maporder: map iteration order can reach simulated outcome`
+		return v
+	}
+	return 0
+}

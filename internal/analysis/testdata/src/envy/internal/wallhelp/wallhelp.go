@@ -1,0 +1,17 @@
+// Package wallhelp is a maporder fixture: a module helper outside the
+// simulation that reads the wall clock. Calling it from a simulation
+// package leaks host timing into simulated state across a package
+// boundary — exactly what simtime's single-package check cannot see.
+package wallhelp
+
+import "time"
+
+// Stamp reads the host clock.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Wrapped hides the read one call deeper.
+func Wrapped() time.Time {
+	return Stamp()
+}

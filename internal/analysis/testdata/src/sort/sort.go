@@ -1,0 +1,16 @@
+// Package sort is a stub of the standard sort package for analyzer
+// fixtures: the maporder analyzer recognizes these entry points as
+// discharging an unordered key collection.
+package sort
+
+// Slice sorts x by less.
+func Slice(x any, less func(i, j int) bool) {}
+
+// SliceStable sorts x by less, stably.
+func SliceStable(x any, less func(i, j int) bool) {}
+
+// Ints sorts a slice of ints.
+func Ints(a []int) {}
+
+// Strings sorts a slice of strings.
+func Strings(a []string) {}

@@ -500,17 +500,19 @@ func (d *Device) FlushTarget(lpn uint32) (ppn uint32, ok bool) {
 }
 
 // FlushTargets iterates the in-flight flush reservations (logical page
-// and destination physical page) in unspecified order.
+// and destination physical page) in ascending logical-page order.
 func (d *Device) FlushTargets(fn func(lpn, ppn uint32)) {
-	for lpn, ppn := range d.flushPPN {
-		fn(lpn, ppn)
+	for _, lpn := range sortedKeys(d.flushPPN) {
+		fn(lpn, d.flushPPN[lpn])
 	}
 }
 
-// Shadows iterates the open transaction's shadow records: the logical
-// page, whether the pre-transaction copy is intact in Flash, and where.
+// Shadows iterates the open transaction's shadow records — the logical
+// page, whether the pre-transaction copy is intact in Flash, and where
+// — in ascending logical-page order.
 func (d *Device) Shadows(fn func(lpn uint32, hasFlash bool, ppn uint32)) {
-	for lpn, sh := range d.shadows {
+	for _, lpn := range sortedKeys(d.shadows) {
+		sh := d.shadows[lpn]
 		fn(lpn, sh.hasFlash, sh.ppn)
 	}
 }

@@ -338,11 +338,11 @@ func (d *Device) CheckConsistency() error {
 		}
 		reachable[loc.PPN] = uint32(lpn)
 	}
-	for lpn, ppn := range d.flushPPN {
-		reachable[ppn] = lpn
+	for _, lpn := range sortedKeys(d.flushPPN) {
+		reachable[d.flushPPN[lpn]] = lpn
 	}
-	for lpn, sh := range d.shadows {
-		if sh.hasFlash {
+	for _, lpn := range sortedKeys(d.shadows) {
+		if sh := d.shadows[lpn]; sh.hasFlash {
 			reachable[sh.ppn] = lpn
 		}
 	}

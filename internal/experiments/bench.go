@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -64,8 +65,8 @@ func Fig8Metrics(rows []Fig8Row) map[string]float64 {
 func Fig9Metrics(rows []Fig9Row) map[string]float64 {
 	m := make(map[string]float64)
 	for _, r := range rows {
-		for loc, cost := range r.Cost {
-			m[fmt.Sprintf("cost_p%d_%s", r.PartitionSegments, loc)] = cost
+		for _, loc := range sortedLocalities(r.Cost) {
+			m[fmt.Sprintf("cost_p%d_%s", r.PartitionSegments, loc)] = r.Cost[loc]
 		}
 	}
 	return m
@@ -75,11 +76,23 @@ func Fig9Metrics(rows []Fig9Row) map[string]float64 {
 func Fig10Metrics(rows []Fig10Row) map[string]float64 {
 	m := make(map[string]float64)
 	for _, r := range rows {
-		for loc, cost := range r.Cost {
-			m[fmt.Sprintf("cost_s%d_%s", r.Segments, loc)] = cost
+		for _, loc := range sortedLocalities(r.Cost) {
+			m[fmt.Sprintf("cost_s%d_%s", r.Segments, loc)] = r.Cost[loc]
 		}
 	}
 	return m
+}
+
+// sortedLocalities returns a cost map's locality keys in ascending
+// order: metric maps must be filled deterministically, never in map
+// iteration order.
+func sortedLocalities(costs map[string]float64) []string {
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // RateMetrics keys the TPC-A sweep (Figures 13 and 15) by offered
