@@ -20,6 +20,7 @@ import (
 	"envy"
 	"envy/internal/cleaner"
 	"envy/internal/experiments"
+	"envy/internal/flash"
 	"envy/internal/sim"
 )
 
@@ -301,6 +302,34 @@ func BenchmarkAblationRedistribution(b *testing.B) {
 		}
 	}
 	reportAll(b, experiments.AblationMetrics(rows))
+}
+
+// BenchmarkMapTier measures the two-tier page table's capacity
+// experiment at a reduced profile: hit rate, tiered-vs-flat read
+// latency, extra write amplification, and the SRAM ratio. The
+// full-scale (≥1M logical page) sweep runs through cmd/experiments.
+func BenchmarkMapTier(b *testing.B) {
+	p := experiments.MapTierProfile{
+		Geometry:     flash.Geometry{PageSize: 256, PagesPerSegment: 1024, Segments: 80, Banks: 8},
+		LogicalPages: 65536,
+		WorkingPages: 16384,
+		CacheFrames:  96,
+		SegmentPages: 128,
+		BufferPages:  512,
+		Writes:       20_000,
+		Reads:        8_000,
+		MMUEntries:   -1,
+		Seed:         1,
+	}
+	var res experiments.MapTierResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MapTierRun(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAll(b, experiments.MapTierMetrics(res))
 }
 
 // BenchmarkDeviceAccess measures the raw Go-level speed of simulated

@@ -22,6 +22,7 @@ import (
 	"envy/internal/flash"
 	"envy/internal/invariant"
 	"envy/internal/lifetime"
+	"envy/internal/maptier"
 	"envy/internal/sim"
 	"envy/internal/stats"
 	"envy/internal/tpca"
@@ -45,6 +46,7 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adapt the effective host queue depth to the observed suspension rate")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
+		mapTier   = flag.Int("maptier", 0, "two-tier page table: SRAM mapping-page cache frames (0 = flat battery-backed table)")
 		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
 	)
 	flag.Parse()
@@ -84,6 +86,9 @@ func main() {
 		cfg.ParallelService = true
 		cfg.PageTableShards = 4 * cfg.Geometry.Banks
 	}
+	if *mapTier > 0 {
+		cfg.MapTier = &maptier.Params{CacheFrames: *mapTier}
+	}
 
 	dev, err := core.New(cfg)
 	if err != nil {
@@ -91,6 +96,14 @@ func main() {
 	}
 	fmt.Printf("device: %d MB flash, %d segments, %s cleaning, buffer %d pages (seed %d)\n",
 		cfg.Geometry.Capacity()>>20, cfg.Geometry.Segments, *policy, dev.Config().BufferPages, *seed)
+	flatBytes := dev.PageTable().SRAMBytes()
+	if mt := dev.MapTier(); mt != nil {
+		fmt.Printf("page table:       two-tier, %d mapping pages, %d cache frames; SRAM %d B directory + %d B cache = %d B (flat table would need %d B, %.1fx)\n",
+			mt.Pages(), mt.CacheFrames(), mt.DirectoryBytes(), mt.CacheBytes(), mt.SRAMBytes(),
+			flatBytes, float64(flatBytes)/float64(mt.SRAMBytes()))
+	} else {
+		fmt.Printf("page table:       flat battery-backed SRAM, %d B\n", flatBytes)
+	}
 
 	bank, err := tpca.Setup(dev, tcfg)
 	if err != nil {
@@ -156,9 +169,14 @@ func main() {
 		100*b.Fraction(stats.Cleaning), 100*b.Fraction(stats.Erasing), 100*b.Fraction(stats.Idle))
 	wmin, wmax := dev.Array().WearSpread()
 	fmt.Printf("wear:             %d..%d erases per segment (%d swaps)\n", wmin, wmax, res.Counters.WearSwaps)
+	if mt := dev.MapTier(); mt != nil {
+		mc := mt.Counters()
+		fmt.Printf("mapping cache:    %.1f%% hit (%d hits, %d misses), %d writebacks (%d forced), %d translation cleans\n",
+			100*mc.HitRate(), mc.Hits, mc.Misses, mc.Writebacks+mc.SyncWritebacks, mc.SyncWritebacks, mc.Cleans)
+	}
 	ops := dev.OpStats()
 	fmt.Printf("background ops:   kind  done/started  suspensions (§3.4 preempted mid-flight)\n")
-	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap} {
+	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap, stats.OpMapFlush, stats.OpMapClean, stats.OpMapErase} {
 		oc := ops.Get(k)
 		if oc.Started == 0 {
 			continue

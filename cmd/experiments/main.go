@@ -8,7 +8,7 @@
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
 // breakdown, lifetime, parallel, hostdepth, parhost, parwall,
-// ablations.
+// ablations, maptier.
 //
 // -json additionally writes BENCH_results.json: one record per
 // experiment with its headline metrics, the scale profile, the seed,
@@ -239,6 +239,15 @@ func main() {
 		}
 		experiments.AblationTable(rows).Print(out)
 		record("ablations", experiments.AblationMetrics(rows), start)
+	}
+	if selected("maptier") {
+		start := time.Now()
+		res, err := experiments.MapTier(sc)
+		if err != nil {
+			fail("maptier", err)
+		}
+		experiments.MapTierTable(res).Print(out)
+		record("maptier", experiments.MapTierMetrics(res), start)
 	}
 
 	if *jsonFlag {

@@ -10,6 +10,7 @@ import (
 	"envy/internal/fault"
 	"envy/internal/flash"
 	"envy/internal/host"
+	"envy/internal/maptier"
 	"envy/internal/recovery"
 	"envy/internal/sim"
 	"envy/internal/stats"
@@ -127,6 +128,18 @@ type Config struct {
 	// state. Default off.
 	AdaptiveDepth bool
 
+	// MapTier, if non-nil, enables the two-tier page table: a
+	// fixed-budget SRAM cache of mapping pages over a flash-resident
+	// mapping table behind a small battery-backed directory, breaking
+	// the flat table's SRAM capacity cap (6 bytes of battery-backed
+	// SRAM per logical page). Translation costs change — an MMU miss
+	// that also misses the mapping cache pays a Flash read — and
+	// mapping-page writebacks, cleans, and erases run as background
+	// operations. nil (the default) keeps the flat SRAM table and is
+	// bit-identical to builds without the tier. Incompatible with
+	// ParallelService.
+	MapTier *MapTierConfig
+
 	// Dataless drops page payload storage for timing-only studies;
 	// reads return zeros.
 	Dataless bool
@@ -136,6 +149,24 @@ type Config struct {
 	// suffers a simulated power failure at the planned point and stays
 	// down until Recover.
 	FaultPlan *FaultPlan
+}
+
+// MapTierConfig tunes the two-tier page table (Config.MapTier). The
+// zero value of each field selects a default.
+type MapTierConfig struct {
+	// CacheFrames is the SRAM mapping-page cache budget, in mapping
+	// pages (default 64, minimum 8). Each frame holds one mapping page
+	// (PageSize bytes) of packed table entries.
+	CacheFrames int
+
+	// SegmentPages is the translation-segment (erase unit) size in
+	// pages (default 256).
+	SegmentPages int
+
+	// HighWater is the dirty-frame fraction of the cache that starts
+	// the background writeback drain (default 0.5); LowWater is where
+	// draining stops (default 0.25).
+	HighWater, LowWater float64
 }
 
 // FaultPlan describes when a simulated power failure strikes. The zero
@@ -237,6 +268,14 @@ func (c Config) coreConfig() core.Config {
 		PageTableShards:   c.PageTableShards,
 		ParallelService:   c.ParallelService,
 		Dataless:          c.Dataless,
+	}
+	if c.MapTier != nil {
+		cc.MapTier = &maptier.Params{
+			CacheFrames:  c.MapTier.CacheFrames,
+			SegmentPages: c.MapTier.SegmentPages,
+			HighWater:    c.MapTier.HighWater,
+			LowWater:     c.MapTier.LowWater,
+		}
 	}
 	if c.FaultPlan != nil {
 		p := c.FaultPlan.plan()
@@ -658,6 +697,18 @@ type RecoveryReport struct {
 	// RolledBackPages of an open transaction were restored to their
 	// pre-transaction contents.
 	RolledBackPages int
+
+	// Two-tier page table repairs (Config.MapTier only): discarded
+	// in-flight mapping-page writebacks, a translation-segment clean
+	// finished from its intent (and how many mapping pages it still
+	// copied), re-erased half-erased translation segments, quarantined
+	// torn mapping-page programs, and swept orphan copies.
+	MapWritebacksDiscarded int
+	MapCleanFinished       bool
+	MapCleanCopies         int
+	MapHalfErased          int
+	MapTornQuarantined     int
+	MapOrphans             int
 }
 
 // Recover mounts a crashed device: every crash artifact is repaired
@@ -679,6 +730,13 @@ func (dev *Device) Recover() (RecoveryReport, error) {
 		Orphans:          r.Orphans,
 		MountWearSwaps:   r.MountWearSwaps,
 		RolledBackPages:  r.RolledBackPages,
+
+		MapWritebacksDiscarded: r.MapTier.InflightDiscarded,
+		MapCleanFinished:       r.MapTier.CleanFinished,
+		MapCleanCopies:         r.MapTier.CleanCopies,
+		MapHalfErased:          r.MapTier.HalfErased,
+		MapTornQuarantined:     r.MapTier.TornQuarantined,
+		MapOrphans:             r.MapTier.Orphans,
 	}, err
 }
 
@@ -767,11 +825,39 @@ type Stats struct {
 	// banks (the §6 cleaner-acceleration overlap).
 	FlushCleanOverlap time.Duration
 
+	// Two-tier page table measurements (Config.MapTier; zero when the
+	// flat table is in use). MapHits/MapMisses count host translations
+	// served from the mapping cache versus fetched from Flash;
+	// MapWritebacks and MapSyncWritebacks count background and
+	// eviction-forced mapping-page programs; MapCleans/MapCleanCopies/
+	// MapErases count translation-segment cleaning activity.
+	MapTierEnabled                   bool
+	MapHits, MapMisses               int64
+	MapHitRate                       float64
+	MapFetches                       int64
+	MapWritebacks, MapSyncWritebacks int64
+	MapCleans, MapCleanCopies        int64
+	MapErases                        int64
+
+	// Battery-backed SRAM footprint of the page table: the flat
+	// table's bytes (what the baseline needs and what a two-tier
+	// device saves), and the two-tier directory + cache bytes (zero
+	// when disabled).
+	FlatTableBytes    int64
+	MapDirectoryBytes int64
+	MapCacheBytes     int64
+
 	// Background operation lifecycles, by kind (§3.4 suspend/resume).
 	FlushOps     OpCounters
 	CleanCopyOps OpCounters
 	EraseOps     OpCounters
 	WearSwapOps  OpCounters
+
+	// Mapping-page background operations (Config.MapTier): writeback
+	// programs, translation-segment clean copies, and erases.
+	MapFlushOps OpCounters
+	MapCleanOps OpCounters
+	MapEraseOps OpCounters
 }
 
 // OpCounters is the scheduler's lifecycle accounting for one kind of
@@ -816,7 +902,7 @@ func (dev *Device) Stats() Stats {
 	rl, wl := dev.d.ReadLatency(), dev.d.WriteLatency()
 	hl := dev.eng.Latency()
 	wmin, wmax := dev.d.Array().WearSpread()
-	return Stats{
+	st := Stats{
 		ReadMean:              time.Duration(rl.Mean()),
 		WriteMean:             time.Duration(wl.Mean()),
 		ReadP99:               time.Duration(rl.Percentile(99)),
@@ -860,7 +946,24 @@ func (dev *Device) Stats() Stats {
 		CleanCopyOps:          opCounters(ops.Get(stats.OpCleanCopy)),
 		EraseOps:              opCounters(ops.Get(stats.OpErase)),
 		WearSwapOps:           opCounters(ops.Get(stats.OpWearSwap)),
+		MapFlushOps:           opCounters(ops.Get(stats.OpMapFlush)),
+		MapCleanOps:           opCounters(ops.Get(stats.OpMapClean)),
+		MapEraseOps:           opCounters(ops.Get(stats.OpMapErase)),
 	}
+	st.FlatTableBytes = dev.d.PageTable().SRAMBytes()
+	if mt := dev.d.MapTier(); mt != nil {
+		mc := mt.Counters()
+		st.MapTierEnabled = true
+		st.MapHits, st.MapMisses = mc.Hits, mc.Misses
+		st.MapHitRate = mc.HitRate()
+		st.MapFetches = mc.Fetches
+		st.MapWritebacks, st.MapSyncWritebacks = mc.Writebacks, mc.SyncWritebacks
+		st.MapCleans, st.MapCleanCopies = mc.Cleans, mc.CleanCopies
+		st.MapErases = mc.Erases
+		st.MapDirectoryBytes = mt.DirectoryBytes()
+		st.MapCacheBytes = mt.CacheBytes()
+	}
+	return st
 }
 
 // ResetStats zeroes all measurements (typically after warm-up).

@@ -54,14 +54,15 @@ var Claimgraph = &Analyzer{
 var claimRank = map[string]int{
 	"envy.Device.mu":                    0,
 	"envy/internal/host.Engine.mu":      1,
-	"envy/internal/pagetable.shard.mu":  2,
-	"envy/internal/rlock.Table.shards":  3,
-	"envy/internal/rlock.Table.banks":   4,
-	"envy/internal/rlock.Table.shared":  5,
-	"envy/internal/flash.BankSet.claim": 6,
+	"envy/internal/maptier.Tier.mu":     2,
+	"envy/internal/pagetable.shard.mu":  3,
+	"envy/internal/rlock.Table.shards":  4,
+	"envy/internal/rlock.Table.banks":   5,
+	"envy/internal/rlock.Table.shared":  6,
+	"envy/internal/flash.BankSet.claim": 7,
 }
 
-const claimRankDoc = "canonical order: Device.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims"
+const claimRankDoc = "canonical order: Device.mu → maptier Tier.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims"
 
 // bankClaimClass is the pseudo-lock class for BankSet claims. Claims
 // are ownership tokens held across suspend/resume, not scoped critical

@@ -18,8 +18,9 @@ var Flashstate = &Analyzer{
 		"Program/Invalidate/Erase on *flash.Array and MapFlash/MapSRAM/\n" +
 		"Unmap on *pagetable.Table change state that the whole-device\n" +
 		"invariants are written against. Only internal/flash,\n" +
-		"internal/pagetable, internal/core, and internal/cleaner may call\n" +
-		"them; calls from any other package are flagged. Reads (State,\n" +
+		"internal/pagetable, internal/core, internal/cleaner, and\n" +
+		"internal/maptier (which owns a private translation array) may\n" +
+		"call them; calls from any other package are flagged. Reads (State,\n" +
 		"Owner, Lookup) and the MMU translation cache are unrestricted.",
 	Run: runFlashstate,
 }
@@ -34,6 +35,7 @@ var stateOwners = map[string]bool{
 	"envy/internal/pagetable": true,
 	"envy/internal/core":      true,
 	"envy/internal/cleaner":   true,
+	"envy/internal/maptier":   true,
 	"envy/internal/recovery":  true,
 }
 
@@ -84,7 +86,7 @@ func runFlashstate(pass *Pass) error {
 			}
 			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
 			if guardedMethods[key][fn.Name()] {
-				pass.Reportf(call.Pos(), "flashstate: (*%s.%s).%s mutates guarded state from package %s; only the owning layers (flash, pagetable, core, cleaner) may, everyone else goes through the device API",
+				pass.Reportf(call.Pos(), "flashstate: (*%s.%s).%s mutates guarded state from package %s; only the owning layers (flash, pagetable, core, cleaner, maptier) may, everyone else goes through the device API",
 					named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name(), pass.Pkg.Path())
 			}
 			return true

@@ -58,6 +58,7 @@ var laneSharedTypes = map[string]bool{
 	"envy/internal/rlock.Table":      true,
 	"envy/internal/cleaner.Engine":   true,
 	"envy/internal/cleaner.Selector": true,
+	"envy/internal/maptier.Tier":     true,
 }
 
 // maxLaneEffects caps the effect list carried per function; beyond it

@@ -35,6 +35,7 @@ var simPackages = map[string]bool{
 	"envy/internal/tpca":        true,
 	"envy/internal/workload":    true,
 	"envy/internal/fault":       true,
+	"envy/internal/maptier":     true,
 	"envy/internal/recovery":    true,
 }
 

@@ -6,6 +6,7 @@ package lockuser
 
 import (
 	"envy/internal/claims"
+	"envy/internal/maptier"
 	"envy/internal/rlock"
 )
 
@@ -40,4 +41,22 @@ func badCycle(a *claims.A, b *claims.B) {
 	claims.LockA(a) // want `claimgraph: lock-order cycle envy/internal/claims\.B\.mu → envy/internal/claims\.A\.mu → envy/internal/claims\.B\.mu`
 	claims.UnlockA(a)
 	b.Drop()
+}
+
+// goodTierOrder takes the mapping-tier lock before an rlock shard —
+// descending the canonical ranks. Clean.
+func goodTierOrder(mt *maptier.Tier, t *rlock.Table) {
+	mt.LockTier()
+	t.LockShards()
+	t.UnlockShards()
+	mt.UnlockTier()
+}
+
+// badTierOrder acquires the mapping-tier lock while an rlock shard is
+// held: the tier ranks above the shards, so this inverts the order.
+func badTierOrder(mt *maptier.Tier, t *rlock.Table) {
+	t.LockShards()
+	mt.LockTier() // want `claimgraph: envy/internal/maptier\.Tier\.mu at maptier\.go:\d+ via envy/internal/maptier\.Tier\.LockTier acquired while envy/internal/rlock\.Table\.shards is held`
+	mt.UnlockTier()
+	t.UnlockShards()
 }

@@ -250,14 +250,14 @@ func (d *Device) finishFlush(lpn uint32) {
 		d.arr.Invalidate(ppn)
 		d.buf.Requeue(frame)
 	} else {
-		d.table.MapFlash(lpn, ppn)
-		d.mmuFor(lpn).Update(lpn)
+		d.setFlash(lpn, ppn)
 		d.buf.Remove(frame)
 	}
 	// Keep draining while above the low-water mark.
 	if d.buf.Len() > d.lowWater() && d.flushPending == 0 {
 		d.flushPending++
 	}
+	d.tierDrain()
 }
 
 // waitForFrame blocks the host until the write buffer has a free

@@ -30,6 +30,7 @@ import (
 	"envy/internal/cleaner"
 	"envy/internal/fault"
 	"envy/internal/flash"
+	"envy/internal/maptier"
 	"envy/internal/pagetable"
 	"envy/internal/rlock"
 	"envy/internal/sched"
@@ -114,6 +115,16 @@ type Config struct {
 	// time exactly as PR 4's engine did.
 	ParallelService bool
 
+	// MapTier, if non-nil, replaces the flat battery-backed SRAM page
+	// table's cost model with the two-tier table (internal/maptier): a
+	// fixed-budget SRAM cache of mapping pages over a flash-resident
+	// mapping table behind a battery-backed directory. The flat table
+	// remains the authoritative truth in both modes; MapTier changes
+	// what translation costs and how much SRAM the table needs. nil
+	// (the default) keeps the flat-SRAM model and is bit-identical to
+	// builds without the tier. Incompatible with ParallelService.
+	MapTier *maptier.Params
+
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
 
@@ -189,6 +200,9 @@ func (c *Config) setDefaults() error {
 			c.Cleaning.PartitionSegments = max
 		}
 	}
+	if c.MapTier != nil && c.ParallelService {
+		return fmt.Errorf("core: MapTier is incompatible with ParallelService (the mapping cache is a single shared resource)")
+	}
 	if c.Cleaning.LogicalPages == 0 {
 		pages := int(c.UtilizationTarget * float64(c.Geometry.Pages()))
 		max := (c.Geometry.Segments - 1) * c.Geometry.PagesPerSegment
@@ -220,6 +234,10 @@ type Device struct {
 	// (one mutex per page-table shard and Flash bank); nil when
 	// ParallelService is off.
 	rlocks *rlock.Table
+
+	// mt is the two-tier page table (Config.MapTier); nil keeps the
+	// flat-SRAM translation cost model.
+	mt *maptier.Tier
 
 	now sim.Time
 
@@ -310,6 +328,19 @@ func New(cfg Config) (*Device, error) {
 			}
 		},
 	})
+	if cfg.MapTier != nil {
+		d.mt, err = maptier.New(maptier.Config{
+			Params:       *cfg.MapTier,
+			LogicalPages: cfg.Cleaning.LogicalPages,
+			PageSize:     cfg.Geometry.PageSize,
+			Banks:        cfg.Geometry.Banks,
+			Timing:       cfg.Timing,
+			LookupCost:   cfg.PTLookup,
+		}, d.table, d.sched.Enqueue)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.FaultPlan != nil {
 		d.ArmFault(*cfg.FaultPlan)
 	}
@@ -322,13 +353,24 @@ func New(cfg Config) (*Device, error) {
 func (d *Device) ArmFault(plan fault.Plan) {
 	d.inj = fault.NewInjector(plan)
 	d.inj.Tick(d.now)
-	d.arr.SetInjector(d.inj)
+	d.setArrayInjectors(d.inj)
 }
 
 // DisarmFault removes the injector; no further crashes fire.
 func (d *Device) DisarmFault() {
 	d.inj = nil
-	d.arr.SetInjector(nil)
+	d.setArrayInjectors(nil)
+}
+
+// setArrayInjectors installs inj on every Flash region the controller
+// owns: the data array and, with MapTier, the translation region —
+// mapping-page programs and translation-segment erases are crash
+// points like any other.
+func (d *Device) setArrayInjectors(inj *fault.Injector) {
+	d.arr.SetInjector(inj)
+	if d.mt != nil {
+		d.mt.Array().SetInjector(inj)
+	}
 }
 
 // Crashed reports whether the device is down after a simulated power
@@ -377,6 +419,12 @@ func (d *Device) latchCrash() {
 		ppn := d.flushPPN[lpn]
 		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
 	}
+	if d.mt != nil {
+		now := d.now
+		d.mt.TearInflight(func(ppn uint32) uint64 {
+			return uint64(now) ^ uint64(ppn)*0x9e3779b97f4a7c15
+		})
+	}
 	d.resetMMUs()
 	if c := d.sched.Cursor(); c > d.now {
 		d.now = c
@@ -419,8 +467,8 @@ func (d *Device) remap(logical, oldPPN, newPPN uint32) {
 		return
 	}
 	if loc, ok := d.table.Lookup(logical); ok && !loc.InSRAM && loc.PPN == oldPPN {
-		d.table.MapFlash(logical, newPPN)
-		d.mmuFor(logical).Update(logical)
+		d.setFlash(logical, newPPN)
+		d.tierDrain()
 		return
 	}
 	panic(fmt.Sprintf("core: cleaner moved page %d from %d, which no record accounts for", logical, oldPPN))
@@ -539,6 +587,9 @@ func (d *Device) ResetStats() {
 	d.readLat.Reset()
 	d.writeLat.Reset()
 	d.opStats.Reset()
+	if d.mt != nil {
+		d.mt.ResetCounters()
+	}
 }
 
 // PowerCycle simulates a power failure and recovery. eNVy's state —
@@ -604,9 +655,80 @@ func (d *Device) translate(page uint32) sim.Duration {
 		d.counters.MMUHits++
 	} else {
 		d.counters.MMUMisses++
+		if d.mt != nil {
+			// Two-tier table: an MMU miss resolves through the mapping
+			// cache instead of the flat SRAM table — one SRAM lookup on
+			// a cache hit, a mapping-page fetch from Flash (possibly
+			// behind an eviction writeback) on a miss.
+			cost = d.mt.Access(page)
+		}
 	}
 	return d.cfg.BusOverhead + cost
 }
+
+// setFlash points a logical page's table entry at a Flash copy,
+// refreshes the MMU, and mirrors the change into the mapping tier.
+// Every table mutation in the controller goes through this helper or
+// its siblings so the tier's mapping pages never drift from the table.
+//
+// The tier protocol keeps the pair crash-atomic: the mapping page is
+// pulled into the cache first (EnsureCached may program Flash to make
+// room — crash points — but nothing is mutated yet), then the table
+// flips and the battery-backed cache frame absorbs the new word with
+// no crash point in between. Writeback pacing (Tier.Drain) runs
+// separately, after the enclosing transition completes.
+func (d *Device) setFlash(lpn, ppn uint32) {
+	d.tierEnsure(lpn)
+	d.table.MapFlash(lpn, ppn)
+	d.mmuFor(lpn).Update(lpn)
+	d.tierUpdate(lpn)
+}
+
+// setSRAM points a logical page's table entry into the SRAM write
+// buffer (copy-on-write retarget), refreshing the MMU and the tier.
+func (d *Device) setSRAM(lpn uint32) {
+	d.tierEnsure(lpn)
+	d.table.MapSRAM(lpn)
+	d.mmuFor(lpn).Update(lpn)
+	d.tierUpdate(lpn)
+}
+
+// clearMapping unmaps a logical page, dropping its MMU entry and
+// mirroring the change into the tier.
+func (d *Device) clearMapping(lpn uint32) {
+	d.tierEnsure(lpn)
+	d.table.Unmap(lpn)
+	d.mmuFor(lpn).Invalidate(lpn)
+	d.tierUpdate(lpn)
+}
+
+// tierEnsure readies the tier for a table mutation (no-op on
+// flat-table devices): see setFlash for the protocol.
+func (d *Device) tierEnsure(lpn uint32) {
+	if d.mt != nil {
+		d.mt.EnsureCached(lpn)
+	}
+}
+
+// tierUpdate mirrors a completed table mutation into the tier's
+// cached mapping page. Pure SRAM; never a crash point.
+func (d *Device) tierUpdate(lpn uint32) {
+	if d.mt != nil {
+		d.mt.Update(lpn, d.table.Raw(lpn))
+	}
+}
+
+// tierDrain lets the tier pace its background writebacks. Called only
+// between transitions, where a crash leaves nothing half-flipped.
+func (d *Device) tierDrain() {
+	if d.mt != nil {
+		d.mt.Drain()
+	}
+}
+
+// MapTier returns the two-tier page table, nil when Config.MapTier is
+// off.
+func (d *Device) MapTier() *maptier.Tier { return d.mt }
 
 // newShardMMUs builds the per-shard translation caches for the
 // parallel service path. Each shard carries a full-size cache: the
@@ -884,8 +1006,7 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 		payload = d.arr.Page(loc.PPN)
 	}
 	frame := d.buf.Insert(page, home, payload)
-	d.table.MapSRAM(page)
-	d.mmuFor(page).Update(page)
+	d.setSRAM(page)
 	if d.inj != nil && d.inj.AtRetarget() {
 		panic(&fault.Crash{Point: fault.PointRetarget, LPN: page})
 	}
@@ -893,6 +1014,7 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 		d.arr.Invalidate(loc.PPN)
 	}
 	d.counters.CopyOnWrites++
+	d.tierDrain()
 	return frame
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"envy/internal/flash"
+	"envy/internal/maptier"
 	"envy/internal/sram"
 )
 
@@ -125,6 +126,34 @@ func (d *Device) QuarantineTorn() int {
 		}
 	}
 	return n
+}
+
+// RecoverMapTier repairs the two-tier page table after a crash —
+// in-flight writebacks discarded, an interrupted translation clean
+// finished from its intent, half-erased translation segments
+// re-erased, torn mapping-page programs quarantined, orphans swept —
+// and replays the repair's background ops (the finished clean's copies
+// and erase) on the simulated clock, exactly as ReplaySteps does for
+// the data cleaner. Zero report on flat-table devices.
+func (d *Device) RecoverMapTier() (maptier.RecoverReport, error) {
+	if d.mt == nil {
+		return maptier.RecoverReport{}, nil
+	}
+	if !d.crashed {
+		return maptier.RecoverReport{}, fmt.Errorf("core: RecoverMapTier on a device that is not crashed")
+	}
+	r := d.mt.Recover()
+	for d.sched.Len() > 0 {
+		need, ok := d.sched.NextCompletionIn()
+		if !ok {
+			return r, fmt.Errorf("core: replayed mapping-tier repairs are not runnable")
+		}
+		d.sched.Run(d.now, d.sched.Cursor().Add(need))
+	}
+	if c := d.sched.Cursor(); c > d.now {
+		d.now = c
+	}
+	return r, nil
 }
 
 // ClearCrashed ends the crashed state once recovery has repaired the

@@ -123,14 +123,12 @@ func (d *Device) Rollback() (err error) {
 		switch {
 		case sh.hasFlash:
 			d.discardCurrent(lpn, sh.ppn)
-			d.table.MapFlash(lpn, sh.ppn)
-			d.mmuFor(lpn).Update(lpn)
+			d.setFlash(lpn, sh.ppn)
 		case sh.mapped:
 			d.restorePreimage(lpn, sh.preimage)
 		default:
 			d.discardCurrent(lpn, flash.NoPage)
-			d.table.Unmap(lpn)
-			d.mmuFor(lpn).Invalidate(lpn)
+			d.clearMapping(lpn)
 		}
 		delete(d.shadows, lpn)
 	}
@@ -190,8 +188,7 @@ func (d *Device) restorePreimage(lpn uint32, pre []byte) {
 	}
 	home := d.eng.Home(lpn, false, 0)
 	ppn, _ := d.eng.Flush(lpn, home, pre)
-	d.table.MapFlash(lpn, ppn)
-	d.mmuFor(lpn).Update(lpn)
+	d.setFlash(lpn, ppn)
 }
 
 // Preload writes data at addr directly into Flash, bypassing the write
@@ -209,8 +206,8 @@ func (d *Device) Preload(data []byte, addr uint64) error {
 	}
 	// Preload models a manufacturing/restore pass that happens before
 	// deployment: crash injection is suspended for its duration.
-	defer d.arr.SetInjector(d.inj)
-	d.arr.SetInjector(nil)
+	defer d.setArrayInjectors(d.inj)
+	d.setArrayInjectors(nil)
 	pageSize := d.cfg.Geometry.PageSize
 	if int64(addr)+int64(len(data)) > d.Size() {
 		return fmt.Errorf("core: Preload of %d bytes at %d exceeds device size %d", len(data), addr, d.Size())
@@ -252,8 +249,7 @@ func (d *Device) preloadPage(page uint32, off int, data []byte) error {
 		d.table.Unmap(page)
 	}
 	ppn, _ := d.eng.Flush(page, home, buf)
-	d.table.MapFlash(page, ppn)
-	d.mmuFor(page).Update(page)
+	d.setFlash(page, ppn)
 	return nil
 }
 
@@ -270,8 +266,8 @@ func (d *Device) Churn(n int, seed uint64) {
 	}
 	// Like Preload, Churn is an untimed administrative pass: crash
 	// injection is suspended for its duration.
-	defer d.arr.SetInjector(d.inj)
-	d.arr.SetInjector(nil)
+	defer d.setArrayInjectors(d.inj)
+	d.setArrayInjectors(nil)
 	rng := sim.NewRNG(seed)
 	pageSize := d.cfg.Geometry.PageSize
 	buf := make([]byte, pageSize)
@@ -300,8 +296,7 @@ func (d *Device) Churn(n int, seed uint64) {
 			d.table.Unmap(page)
 		}
 		ppn, _ := d.eng.Flush(page, home, buf)
-		d.table.MapFlash(page, ppn)
-		d.mmuFor(page).Update(page)
+		d.setFlash(page, ppn)
 	}
 }
 

@@ -204,3 +204,72 @@ func TestStaticTables(t *testing.T) {
 		t.Error("static tables look empty")
 	}
 }
+
+// microMapTierProfile shrinks the maptier sweep to test size while
+// keeping its shape: the working set spans several times more mapping
+// pages than the cache holds, so misses, writebacks, and translation
+// cleans all occur.
+func microMapTierProfile() MapTierProfile {
+	return MapTierProfile{
+		Geometry:     flash.Geometry{PageSize: 256, PagesPerSegment: 512, Segments: 80, Banks: 8},
+		LogicalPages: 32768,
+		WorkingPages: 8192,
+		CacheFrames:  48,
+		SegmentPages: 64,
+		BufferPages:  256,
+		Writes:       12_000,
+		Reads:        4_000,
+		// The default MMU would cover half this micro working set and
+		// absorb exactly the hot accesses; disable it so every read
+		// exercises the tier.
+		MMUEntries: -1,
+		Seed:       1,
+	}
+}
+
+func TestMapTierSweepShape(t *testing.T) {
+	res, err := MapTierRun(microMapTierProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Localities) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(Localities))
+	}
+	if ratio := float64(res.FlatSRAMBytes) / float64(res.TierSRAMBytes); ratio < 4 {
+		t.Errorf("tier SRAM only %.1fx smaller than flat", ratio)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].HitRate < res.Rows[i-1].HitRate-0.05 {
+			t.Errorf("hit rate fell with sharper locality: %s %.2f after %s %.2f",
+				res.Rows[i].Locality, res.Rows[i].HitRate, res.Rows[i-1].Locality, res.Rows[i-1].HitRate)
+		}
+	}
+	for _, r := range res.Rows {
+		if r.FlatNs <= 0 || r.TierNs <= 0 {
+			t.Fatalf("%s: non-positive latency (flat %.0f, tier %.0f)", r.Locality, r.FlatNs, r.TierNs)
+		}
+		if r.Ratio < 1 {
+			t.Errorf("%s: tiered reads faster than flat (%.2f) — measurement broken", r.Locality, r.Ratio)
+		}
+		if r.ExtraWA <= 0 {
+			t.Errorf("%s: no translation-region write traffic measured", r.Locality)
+		}
+	}
+	// The sharpest mix must reach the near-flat regime the tier is
+	// for: high hit rate, reads close to the flat table's.
+	last := res.Rows[len(res.Rows)-1]
+	if last.HitRate < 0.9 {
+		t.Errorf("5/95 hit rate %.2f, want >= 0.9", last.HitRate)
+	}
+	if last.Ratio > 2 {
+		t.Errorf("5/95 read ratio %.2f, want <= 2", last.Ratio)
+	}
+	tbl := MapTierTable(res)
+	if len(tbl.Rows) != len(res.Rows) {
+		t.Error("table row count mismatch")
+	}
+	m := MapTierMetrics(res)
+	if m["sram_ratio"] < 4 || m["hit_5/95"] != last.HitRate {
+		t.Errorf("metrics map inconsistent: %v", m)
+	}
+}

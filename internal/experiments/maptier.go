@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/maptier"
+	"envy/internal/sim"
+)
+
+// The maptier experiment demonstrates the two-tier page table's
+// capacity unlock: a device with over a million logical pages — far
+// past where a flat battery-backed table's SRAM bill becomes the
+// limiting cost — served through a mapping-page cache an order of
+// magnitude smaller, at near-flat read latency on the high-locality
+// end of the Figure 8 mixes and with bounded extra write
+// amplification from mapping-page writebacks and translation cleans.
+
+// MapTierProfile sizes one maptier capacity/latency run. The working
+// set deliberately exceeds the cache's reach (WorkingPages spans ~4×
+// more mapping pages than CacheFrames) so the sweep shows the cache
+// earning its keep as locality sharpens, rather than trivially
+// holding everything.
+type MapTierProfile struct {
+	Geometry     flash.Geometry
+	LogicalPages int // table entries; ≥ 2^20 at full scale
+	WorkingPages int // page span the workload draws from
+	CacheFrames  int // SRAM mapping-page frames
+	SegmentPages int // translation segment size
+	BufferPages  int
+	Writes       int // bimodal writes before measurement
+	Reads        int // timed reads per mix
+	MMUEntries   int // 0 = core default; -1 disables the MMU
+	Seed         uint64
+}
+
+// mapTierProfile returns the full-scale profile. Like the policy
+// studies, it is the same at every Scale: the point is the absolute
+// page count, which must not shrink with the laptop profile.
+func mapTierProfile(sc Scale) MapTierProfile {
+	return MapTierProfile{
+		Geometry:     flash.Geometry{PageSize: 256, PagesPerSegment: 4096, Segments: 320, Banks: 8},
+		LogicalPages: 1 << 20, // 1,048,576 pages = 80% of the array
+		WorkingPages: 1 << 18,
+		CacheFrames:  1536, // ~6% of the 24,967 mapping pages
+		SegmentPages: 256,
+		BufferPages:  4096,
+		Writes:       150_000,
+		Reads:        50_000,
+		Seed:         sc.Seed,
+	}
+}
+
+// MapTierRow is one locality mix of the capacity/latency sweep,
+// measured on a flat-table device and a tiered device driven by the
+// identical access sequence.
+type MapTierRow struct {
+	Locality string
+	HitRate  float64 // mapping-cache hit rate during the read phase
+	FlatNs   float64 // mean read latency, flat battery-backed table
+	TierNs   float64 // mean read latency, two-tier table
+	Ratio    float64 // TierNs / FlatNs
+	ExtraWA  float64 // translation-array programs per data-array program
+}
+
+// MapTierResult bundles the sweep with the SRAM accounting that
+// motivates it (identical for every row — the budget is fixed).
+type MapTierResult struct {
+	Rows          []MapTierRow
+	LogicalPages  int
+	MappingPages  int
+	CacheFrames   int
+	FlatSRAMBytes int64 // what the flat table costs at this capacity
+	TierSRAMBytes int64 // directory + cache frames
+}
+
+// MapTier runs the capacity/latency sweep at full scale.
+func MapTier(sc Scale) (MapTierResult, error) {
+	return MapTierRun(mapTierProfile(sc))
+}
+
+func mapTierDevice(p MapTierProfile, tiered bool) (*core.Device, error) {
+	cfg := core.Config{
+		Geometry: p.Geometry,
+		Cleaning: cleaner.Config{
+			Kind:              cleaner.Hybrid,
+			PartitionSegments: 16,
+			LogicalPages:      p.LogicalPages,
+		},
+		BufferPages: p.BufferPages,
+		MMUEntries:  p.MMUEntries,
+		Dataless:    true,
+	}
+	if tiered {
+		cfg.MapTier = &maptier.Params{CacheFrames: p.CacheFrames, SegmentPages: p.SegmentPages}
+	}
+	return core.New(cfg)
+}
+
+// mapTierMeasure drives one device through the warm-write phase, a
+// drain, and the timed read phase, returning the mean read latency in
+// nanoseconds and the extra write amplification (0 for flat devices).
+func mapTierMeasure(d *core.Device, p MapTierProfile, dist sim.Bimodal) (readNs, extraWA, hitRate float64) {
+	pageSize := uint64(p.Geometry.PageSize)
+	mt := d.MapTier()
+
+	// Programs already on the arrays are construction artifacts
+	// (formatting the translation region); amplification is measured
+	// from here.
+	dataBase := d.Array().Programs()
+	var tierBase int64
+	if mt != nil {
+		tierBase = mt.Array().Programs()
+	}
+
+	rng := sim.NewRNG(p.Seed)
+	for i := 0; i < p.Writes; i++ {
+		page := dist.Draw(rng, p.WorkingPages)
+		d.WriteWord(uint64(page)*pageSize, uint32(i)+1)
+	}
+	// Let flushes, mapping-page writebacks, and any translation cleans
+	// settle, so the read phase measures translation cost, not a
+	// backlog of the write phase's work.
+	d.AdvanceTo(d.Now().Add(5 * sim.Second))
+
+	dataPrograms := d.Array().Programs() - dataBase
+	if mt != nil {
+		tierPrograms := mt.Array().Programs() - tierBase
+		if dataPrograms > 0 {
+			extraWA = float64(tierPrograms) / float64(dataPrograms)
+		}
+		mt.ResetCounters()
+	}
+
+	var total sim.Duration
+	for i := 0; i < p.Reads; i++ {
+		page := dist.Draw(rng, p.WorkingPages)
+		_, lat := d.ReadWord(uint64(page) * pageSize)
+		total += lat
+	}
+	readNs = float64(total) / float64(p.Reads) / float64(sim.Nanosecond)
+	if mt != nil {
+		hitRate = mt.Counters().HitRate()
+	}
+	return readNs, extraWA, hitRate
+}
+
+// MapTierRun executes the sweep for an arbitrary profile; the tests
+// and benchmarks call it with reduced ones.
+func MapTierRun(p MapTierProfile) (MapTierResult, error) {
+	var res MapTierResult
+	res.LogicalPages = p.LogicalPages
+	res.CacheFrames = p.CacheFrames
+	for _, loc := range Localities {
+		dist, err := sim.ParseLocality(loc)
+		if err != nil {
+			return res, err
+		}
+		flat, err := mapTierDevice(p, false)
+		if err != nil {
+			return res, fmt.Errorf("maptier flat device: %w", err)
+		}
+		tier, err := mapTierDevice(p, true)
+		if err != nil {
+			return res, fmt.Errorf("maptier tiered device: %w", err)
+		}
+		if res.FlatSRAMBytes == 0 {
+			res.FlatSRAMBytes = flat.PageTable().SRAMBytes()
+			res.TierSRAMBytes = tier.MapTier().SRAMBytes()
+			res.MappingPages = tier.MapTier().Pages()
+		}
+		flatNs, _, _ := mapTierMeasure(flat, p, dist)
+		tierNs, extraWA, hitRate := mapTierMeasure(tier, p, dist)
+		res.Rows = append(res.Rows, MapTierRow{
+			Locality: loc,
+			HitRate:  hitRate,
+			FlatNs:   flatNs,
+			TierNs:   tierNs,
+			Ratio:    tierNs / flatNs,
+			ExtraWA:  extraWA,
+		})
+	}
+	return res, nil
+}
+
+// MapTierMetrics flattens the sweep for BENCH_results.json: per-mix
+// hit rate, latency ratio, and extra write amplification, plus the
+// SRAM accounting that motivates the tier.
+func MapTierMetrics(res MapTierResult) map[string]float64 {
+	m := map[string]float64{
+		"logical_pages":   float64(res.LogicalPages),
+		"flat_sram_bytes": float64(res.FlatSRAMBytes),
+		"tier_sram_bytes": float64(res.TierSRAMBytes),
+		"sram_ratio":      float64(res.FlatSRAMBytes) / float64(res.TierSRAMBytes),
+	}
+	for _, r := range res.Rows {
+		m["hit_"+r.Locality] = r.HitRate
+		m["read_ratio_"+r.Locality] = r.Ratio
+		m["extra_wa_"+r.Locality] = r.ExtraWA
+	}
+	return m
+}
+
+// MapTierTable formats the sweep.
+func MapTierTable(res MapTierResult) Table {
+	t := Table{
+		Title: "maptier: two-tier page table at scale",
+		Note: fmt.Sprintf(
+			"%d logical pages, %d mapping pages behind %d cache frames; SRAM %d B vs %d B flat (%.1fx smaller)",
+			res.LogicalPages, res.MappingPages, res.CacheFrames,
+			res.TierSRAMBytes, res.FlatSRAMBytes,
+			float64(res.FlatSRAMBytes)/float64(res.TierSRAMBytes)),
+		Header: []string{"locality", "hit rate", "flat read ns", "tier read ns", "ratio", "extra WA"},
+	}
+	for _, r := range res.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Locality, f2(r.HitRate), f0(r.FlatNs), f0(r.TierNs), f2(r.Ratio), f2(r.ExtraWA),
+		})
+	}
+	return t
+}

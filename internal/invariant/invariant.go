@@ -111,6 +111,23 @@ func CheckDevice(d *core.Device) error {
 	if armed := d.Scheduler().PendingDone(stats.OpFlush); armed != reservations {
 		return fmt.Errorf("invariant: %d armed flush completions but %d flush reservations", armed, reservations)
 	}
+	// Mapping-tier invariants (two-tier page table only): the
+	// translation region's segment counters recount exactly, every
+	// cached mapping page matches the authoritative table, the
+	// directory covers every mapping page exactly once, and the armed
+	// mapping-writeback completions correspond one-to-one with the
+	// tier's in-flight records.
+	if mt := d.MapTier(); mt != nil {
+		if err := checkSegmentCounts(mt.Array()); err != nil {
+			return fmt.Errorf("translation region: %w", err)
+		}
+		if err := mt.CheckConsistency(); err != nil {
+			return err
+		}
+		if armed, inflight := d.Scheduler().PendingDone(stats.OpMapFlush), mt.InflightCount(); armed != inflight {
+			return fmt.Errorf("invariant: %d armed mapping-writeback completions but %d in-flight records", armed, inflight)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,148 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/invariant"
+	"envy/internal/maptier"
+	"envy/internal/sim"
+)
+
+// quiescedMapTierDevice drives traffic through a two-tier device until
+// the mapping cache, writeback, and cleaning machinery have all run,
+// then drains it to a consistent rest state.
+func quiescedMapTierDevice(t *testing.T) *core.Device {
+	t.Helper()
+	cfg := testConfig(cleaner.Hybrid)
+	cfg.MapTier = &maptier.Params{CacheFrames: 8, SegmentPages: 8}
+	d, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	words := int(d.Size() / 4)
+	for i := 0; i < 2000; i++ {
+		d.WriteWord(uint64(rng.Intn(words))*4, uint32(i))
+	}
+	d.AdvanceTo(d.Now().Add(10 * sim.Second)) // drain flushes and tier writebacks
+	if err := invariant.CheckDevice(d); err != nil {
+		t.Fatalf("tiered device not consistent before corruption: %v", err)
+	}
+	return d
+}
+
+// TestMapTierCheckFires corrupts the mapping tier in targeted ways and
+// asserts CheckDevice reports each one. Like TestCheckDeviceFires, the
+// mutations reach through owner APIs from outside the owning layer —
+// deliberate, suppression-marked corruption.
+func TestMapTierCheckFires(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(t *testing.T, d *core.Device)
+		want    string
+	}{
+		{
+			// A directory entry must always point at a fully
+			// programmed Valid copy of its mapping page.
+			name: "directory targets invalidated translation page",
+			corrupt: func(t *testing.T, d *core.Device) {
+				arr := d.MapTier().Array()
+				geo := arr.Geometry()
+				for ppn := uint32(0); int(ppn) < geo.Segments*geo.PagesPerSegment; ppn++ {
+					if arr.State(ppn) == flash.Valid {
+						arr.Invalidate(ppn) //envyvet:allow flashstate
+						return
+					}
+				}
+				t.Fatal("no valid translation page found")
+			},
+			want: "directory entry",
+		},
+		{
+			// The cached mapping page must mirror the flat table
+			// word-for-word; a divergent entry means a table mutation
+			// bypassed the tier protocol.
+			name: "cached mapping page diverges from table",
+			corrupt: func(t *testing.T, d *core.Device) {
+				mt := d.MapTier()
+				mt.EnsureCached(0)
+				mt.Update(0, 0x7ead0bad)
+			},
+			want: "diverges from the page table",
+		},
+		{
+			// The flat table is authoritative; mutating it without the
+			// tier helpers leaves the cached mapping page stale. The
+			// data plane's ownership check sees the cross-owned swap
+			// first — what matters is that a bypassing mutation cannot
+			// pass the full suite.
+			name: "table mutation bypassing the tier",
+			corrupt: func(t *testing.T, d *core.Device) {
+				mt := d.MapTier()
+				table := d.PageTable()
+				// Find two flash-mapped pages on one cached mapping
+				// page and swap them behind the tier's back, leaving
+				// both the data plane's reverse map and the tier's
+				// cached frame out of step with the table.
+				per := mt.EntriesPerPage()
+				for base := 0; base+per <= table.Len(); base += per {
+					var lpns []uint32
+					var ppns []uint32
+					for l := base; l < base+per; l++ {
+						if loc, ok := table.Lookup(uint32(l)); ok && !loc.InSRAM {
+							lpns = append(lpns, uint32(l))
+							ppns = append(ppns, loc.PPN)
+						}
+					}
+					if len(lpns) >= 2 {
+						mt.EnsureCached(lpns[0])
+						table.MapFlash(lpns[0], ppns[1]) //envyvet:allow flashstate
+						table.MapFlash(lpns[1], ppns[0]) //envyvet:allow flashstate
+						return
+					}
+				}
+				t.Skip("no mapping page with two flash-mapped entries")
+			},
+			want: "owned by",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := quiescedMapTierDevice(t)
+			tc.corrupt(t, d)
+			err := invariant.CheckDevice(d)
+			if err == nil {
+				t.Fatal("CheckDevice accepted the corrupted tier")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CheckDevice reported %q, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMapTierCheckClean pins the positive case: the tier block of
+// CheckDevice accepts a healthy tiered device mid-traffic, not only at
+// rest.
+func TestMapTierCheckClean(t *testing.T) {
+	cfg := testConfig(cleaner.Hybrid)
+	cfg.MapTier = &maptier.Params{CacheFrames: 8, SegmentPages: 8}
+	d, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	words := int(d.Size() / 4)
+	for i := 0; i < 3000; i++ {
+		d.WriteWord(uint64(rng.Intn(words))*4, uint32(i))
+		if i%250 == 0 {
+			if err := invariant.CheckDevice(d); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+}

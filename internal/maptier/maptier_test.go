@@ -1,0 +1,243 @@
+package maptier
+
+import (
+	"testing"
+
+	"envy/internal/flash"
+	"envy/internal/pagetable"
+	"envy/internal/sched"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// testTier builds a small tier over a fresh table, capturing every
+// enqueued background op so tests can complete them by hand.
+func testTier(t *testing.T, p Params, logical int) (*Tier, *pagetable.Table, *[]*sched.Op) {
+	t.Helper()
+	table := pagetable.New(logical)
+	var ops []*sched.Op
+	tier, err := New(Config{
+		Params:       p,
+		LogicalPages: logical,
+		PageSize:     64, // 10 entries per mapping page
+		Banks:        2,
+		Timing:       flash.PaperTiming(),
+	}, table, func(op *sched.Op) { ops = append(ops, op) })
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tier, table, &ops
+}
+
+// mutate applies a table change and mirrors it into the tier with the
+// controller's protocol: ensure-cached before the mutation, the pure
+// SRAM update after, writeback pacing once the transition is done.
+func mutate(tier *Tier, table *pagetable.Table, lpn, ppn uint32) {
+	tier.EnsureCached(lpn)
+	table.MapFlash(lpn, ppn)
+	tier.Update(lpn, table.Raw(lpn))
+	tier.Drain()
+}
+
+// finishAll runs the Done callbacks of every captured op, draining any
+// follow-on ops the completions themselves enqueue.
+func finishAll(ops *[]*sched.Op) {
+	for i := 0; i < len(*ops); i++ {
+		if done := (*ops)[i].Done; done != nil {
+			done()
+		}
+	}
+}
+
+func TestNewFormatsConsistently(t *testing.T) {
+	tier, _, _ := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+	if got := tier.Pages(); got != 50 {
+		t.Fatalf("Pages = %d, want 50 (500 logical / 10 per page)", got)
+	}
+	if got := tier.EntriesPerPage(); got != 10 {
+		t.Fatalf("EntriesPerPage = %d, want 10", got)
+	}
+	if tier.DirectoryBytes() != 50*4 {
+		t.Fatalf("DirectoryBytes = %d, want 200", tier.DirectoryBytes())
+	}
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("fresh tier inconsistent: %v", err)
+	}
+}
+
+func TestAccessHitAndMiss(t *testing.T) {
+	tier, _, _ := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+	lookup := 100 * sim.Nanosecond
+
+	miss := tier.Access(0)
+	if miss <= lookup {
+		t.Fatalf("cold access cost %v, want more than the SRAM lookup %v", miss, lookup)
+	}
+	hit := tier.Access(5) // same mapping page (10 entries per page)
+	if hit != lookup {
+		t.Fatalf("warm access cost %v, want exactly %v", hit, lookup)
+	}
+	c := tier.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Fetches != 1 {
+		t.Fatalf("counters = %+v, want 1 hit, 1 miss, 1 fetch", c)
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", hr)
+	}
+}
+
+func TestDirtyWritebackRetargets(t *testing.T) {
+	tier, table, ops := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+
+	// Dirty distinct mapping pages until the drain starts (high water
+	// = 4 of 8 frames).
+	for i := 0; i < 5; i++ {
+		mutate(tier, table, uint32(i*10), uint32(100+i))
+	}
+	if len(*ops) == 0 {
+		t.Fatal("crossing the high-water mark scheduled no writebacks")
+	}
+	for _, op := range *ops {
+		if op.Kind != stats.OpMapFlush {
+			t.Fatalf("drain enqueued %v, want map-flush", op.Kind)
+		}
+		if op.Done == nil {
+			t.Fatal("map-flush op has no completion")
+		}
+	}
+	if n := tier.InflightCount(); n != len(*ops) {
+		t.Fatalf("InflightCount = %d, want %d (one per scheduled op)", n, len(*ops))
+	}
+
+	finishAll(ops)
+	if n := tier.InflightCount(); n != 0 {
+		t.Fatalf("InflightCount = %d after completions, want 0", n)
+	}
+	c := tier.Counters()
+	if c.Writebacks == 0 || c.SyncWritebacks != 0 {
+		t.Fatalf("counters = %+v, want background writebacks only", c)
+	}
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after writebacks: %v", err)
+	}
+}
+
+func TestRedirtyDuringFlightKeepsNewest(t *testing.T) {
+	tier, table, ops := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+	for i := 0; i < 5; i++ {
+		mutate(tier, table, uint32(i*10), uint32(100+i))
+	}
+	if len(*ops) == 0 {
+		t.Fatal("no writebacks scheduled")
+	}
+	// Re-dirty a mapping page whose writeback is in flight: the
+	// completion must discard the stale copy and leave the frame dirty.
+	mutate(tier, table, 0, 999)
+	finishAll(ops)
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after re-dirty + completions: %v", err)
+	}
+}
+
+func TestEvictionSyncWriteback(t *testing.T) {
+	tier, table, _ := testTier(t, Params{CacheFrames: 8, SegmentPages: 16, HighWater: 0.99, LowWater: 0.5}, 500)
+
+	// With the high water at ~8 frames no background drain starts;
+	// dirty 8 distinct mapping pages to fill the cache, then touch
+	// more pages so fetches must evict dirty frames synchronously.
+	for i := 0; i < 8; i++ {
+		mutate(tier, table, uint32(i*10), uint32(100+i))
+	}
+	base := tier.Access(80) // mapping page 8: fetch into a full cache
+	if base == 0 {
+		t.Fatal("eviction-forcing access cost nothing")
+	}
+	c := tier.Counters()
+	if c.SyncWritebacks == 0 {
+		t.Fatalf("counters = %+v, want at least one sync writeback", c)
+	}
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after sync eviction: %v", err)
+	}
+}
+
+func TestCleanRotatesSpare(t *testing.T) {
+	tier, table, ops := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+
+	// Churn one hot set of mapping pages long enough to exhaust the
+	// append segment and force translation cleans.
+	for round := 0; tier.Counters().Cleans == 0 && round < 200; round++ {
+		for i := 0; i < 5; i++ {
+			mutate(tier, table, uint32(i*10), uint32(100+round))
+		}
+		finishAll(ops)
+		*ops = (*ops)[:0]
+	}
+	c := tier.Counters()
+	if c.Cleans == 0 || c.Erases == 0 {
+		t.Fatalf("counters = %+v, want at least one clean and erase", c)
+	}
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after cleans: %v", err)
+	}
+}
+
+func TestRecoverDiscardsTornWritebacks(t *testing.T) {
+	tier, table, ops := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+	for i := 0; i < 5; i++ {
+		mutate(tier, table, uint32(i*10), uint32(100+i))
+	}
+	inflight := tier.InflightCount()
+	if inflight == 0 {
+		t.Fatal("no writebacks in flight to tear")
+	}
+
+	// Power fails: every in-flight program tears; the battery-backed
+	// cache survives. The scheduled completions are never run.
+	tier.TearInflight(func(ppn uint32) uint64 { return uint64(ppn)*2654435761 + 1 })
+	*ops = (*ops)[:0]
+	r := tier.Recover()
+	if r.InflightDiscarded != inflight {
+		t.Fatalf("InflightDiscarded = %d, want %d", r.InflightDiscarded, inflight)
+	}
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+
+	// The frames went back to dirty: the newest entries are still in
+	// SRAM and flush again on the next drain.
+	finishAll(ops)
+	if err := tier.CheckConsistency(); err != nil {
+		t.Fatalf("after post-recovery drain: %v", err)
+	}
+}
+
+func TestCheckConsistencyCatchesDivergence(t *testing.T) {
+	tier, table, _ := testTier(t, Params{CacheFrames: 8, SegmentPages: 16}, 500)
+	tier.Access(0) // cache mapping page 0
+
+	// Mutate the table without telling the tier — the bug the checker
+	// exists to catch. The cached frame now disagrees with the table.
+	table.MapFlash(3, 777)
+	if err := tier.CheckConsistency(); err == nil {
+		t.Fatal("CheckConsistency missed a cached frame diverging from the table")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	table := pagetable.New(100)
+	enq := func(*sched.Op) {}
+	cases := []Config{
+		{LogicalPages: 0, PageSize: 64, Banks: 1},
+		{LogicalPages: 100, PageSize: 4, Banks: 1},                                                 // below one entry
+		{LogicalPages: 100, PageSize: 64, Banks: 0},                                                // no banks
+		{Params: Params{CacheFrames: 4}, LogicalPages: 100, PageSize: 64, Banks: 1},                // below minimum
+		{Params: Params{HighWater: 0.2, LowWater: 0.5}, LogicalPages: 100, PageSize: 64, Banks: 1}, // inverted
+	}
+	for i, cfg := range cases {
+		cfg.Timing = flash.PaperTiming()
+		if _, err := New(cfg, table, enq); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+}

@@ -122,6 +122,20 @@ func (t *Table) Lookup(logical uint32) (loc Location, ok bool) {
 	return decode(e)
 }
 
+// Raw returns the encoded table entry for a logical page, exactly as
+// stored: the mapping-tier subsystem serializes these opaque words
+// into flash-resident mapping pages, and the invariant checker
+// compares them against the cached copies. The encoding is otherwise
+// private; callers must treat the value as a token whose only defined
+// relation is equality with other Raw results for the same state.
+func (t *Table) Raw(logical uint32) uint32 {
+	s, i := t.locate(logical)
+	s.mu.RLock()
+	e := s.entries[i]
+	s.mu.RUnlock()
+	return e
+}
+
 // LookupOwned resolves a logical page without touching the shard's
 // read-write lock. Callers must already own the shard through an
 // admission-time resource lock (internal/rlock): execution lanes hold

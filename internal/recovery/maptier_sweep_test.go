@@ -1,0 +1,130 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/fault"
+	"envy/internal/invariant"
+	"envy/internal/maptier"
+	"envy/internal/recovery"
+)
+
+// Crash-point sweeps over the two-tier page table: the same seeded
+// workload replays with the power planned to fail at the k-th program
+// or erase. With the tier on, those counts include the translation
+// region's own traffic — mapping-page writebacks, eviction programs,
+// translation-clean copies and erases — so the sweep walks the crash
+// point across every mapping-page program/erase boundary as well as
+// the data plane's.
+
+// mapTierSweepConfig is the torture geometry with a deliberately tiny
+// mapping cache and translation segments, so mapping pages wash in and
+// out and translation cleans fire within test-sized workloads.
+func mapTierSweepConfig() core.Config {
+	cfg := tortureConfig(cleaner.Hybrid)
+	cfg.MapTier = &maptier.Params{CacheFrames: 8, SegmentPages: 8}
+	return cfg
+}
+
+// sweepMapTier replays the workload once per plan on a tiered device,
+// recovering and verifying after each planned crash.
+func sweepMapTier(t *testing.T, maxK int, mkPlan func(k int64) fault.Plan) []recovery.Report {
+	t.Helper()
+	var reports []recovery.Report
+	for k := int64(1); k <= int64(maxK); k++ {
+		d, err := core.New(mapTierSweepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ArmFault(mkPlan(k))
+		model := make(map[uint64]uint32)
+		if !driveFixed(t, d, model, 0xfeedface, 3000) {
+			break
+		}
+		rep, err := recovery.Recover(d)
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v (report: %v)", k, err, rep)
+		}
+		reports = append(reports, rep)
+		verifyModel(t, d, model)
+		if err := invariant.CheckDevice(d); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	return reports
+}
+
+func TestMapTierSweepProgramCrashes(t *testing.T) {
+	maxK := 400
+	if testing.Short() {
+		maxK = 60
+	}
+	reports := sweepMapTier(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Program: k}
+	})
+	if len(reports) < 30 {
+		t.Fatalf("only %d program crash points reached", len(reports))
+	}
+	// The shared program count must land crashes inside the tier's own
+	// machinery: torn in-flight writebacks discarded, or unrecorded
+	// mapping-page programs quarantined.
+	tierHit := 0
+	for _, rep := range reports {
+		mt := rep.MapTier
+		if mt.InflightDiscarded > 0 || mt.TornQuarantined > 0 || mt.CleanFinished || mt.Orphans > 0 {
+			tierHit++
+		}
+	}
+	t.Logf("program sweep: %d crashes, %d with mapping-tier repairs", len(reports), tierHit)
+	if tierHit == 0 {
+		t.Error("no program crash landed on a mapping-page boundary")
+	}
+}
+
+func TestMapTierSweepEraseCrashes(t *testing.T) {
+	maxK := 60
+	if testing.Short() {
+		maxK = 12
+	}
+	reports := sweepMapTier(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Erase: k}
+	})
+	if len(reports) < 5 {
+		t.Fatalf("only %d erase crash points reached", len(reports))
+	}
+	dataCleans, tierCleans := 0, 0
+	for k, rep := range reports {
+		if rep.CleanFinished || rep.WearSwapFinished {
+			dataCleans++
+		}
+		if rep.MapTier.CleanFinished || rep.MapTier.HalfErased > 0 {
+			tierCleans++
+		}
+		if !rep.CleanFinished && !rep.WearSwapFinished &&
+			!rep.MapTier.CleanFinished && rep.MapTier.HalfErased == 0 && rep.HalfErased == 0 {
+			t.Errorf("k=%d: an erase crashed outside any clean, swap, or translation clean: %v", k+1, rep)
+		}
+	}
+	t.Logf("erase sweep: %d crashes, %d in data cleans/swaps, %d in translation cleans", len(reports), dataCleans, tierCleans)
+	if !testing.Short() && tierCleans == 0 {
+		t.Error("no erase crash landed in a translation-segment clean")
+	}
+}
+
+// TestMapTierSweepRetargetCrashes walks the §3.1 retarget crash point
+// with the tier on: the copy-on-write window's orphan repair and the
+// tier's ensure-before-mutate protocol must compose.
+func TestMapTierSweepRetargetCrashes(t *testing.T) {
+	maxK := 120
+	if testing.Short() {
+		maxK = 25
+	}
+	reports := sweepMapTier(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Retarget: k}
+	})
+	if len(reports) < 10 {
+		t.Fatalf("only %d retarget crash points reached", len(reports))
+	}
+}

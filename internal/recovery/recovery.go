@@ -39,6 +39,7 @@ import (
 	"envy/internal/cleaner"
 	"envy/internal/core"
 	"envy/internal/invariant"
+	"envy/internal/maptier"
 )
 
 // Report summarizes what one recovery pass found and repaired.
@@ -80,12 +81,23 @@ type Report struct {
 	// RolledBackPages counts pages of the open transaction restored to
 	// their pre-transaction contents (0 if no transaction was open).
 	RolledBackPages int
+
+	// MapTier summarizes the two-tier page table's own repairs
+	// (discarded mapping-page writebacks, a finished translation
+	// clean, re-erased and quarantined translation pages); zero on
+	// flat-table devices.
+	MapTier maptier.RecoverReport
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"flushes discarded %d, stray flushes %d, half-erased segments %d, clean finished %v, wear swap finished %v, torn quarantined %d, orphans %d, mount wear swaps %d, rolled back %d",
 		r.FlushesDiscarded, r.StrayFlushes, r.HalfErased, r.CleanFinished, r.WearSwapFinished, r.TornQuarantined, r.Orphans, r.MountWearSwaps, r.RolledBackPages)
+	if mt := r.MapTier; mt != (maptier.RecoverReport{}) {
+		s += fmt.Sprintf("; map tier: writebacks discarded %d, clean finished %v (%d copies), half-erased %d, torn quarantined %d, orphans %d",
+			mt.InflightDiscarded, mt.CleanFinished, mt.CleanCopies, mt.HalfErased, mt.TornQuarantined, mt.Orphans)
+	}
+	return s
 }
 
 // Recover mounts a crashed device: it repairs every crash artifact,
@@ -107,7 +119,19 @@ func Recover(d *core.Device) (Report, error) {
 		}
 	}
 
+	// The two-tier page table repairs itself first: torn mapping-page
+	// writebacks are discarded (the battery-backed cache frames still
+	// hold the newest entries), an interrupted translation clean is
+	// finished from its intent, and the repair's controller time
+	// replays on the clock. It must precede the data-plane passes
+	// below, because those retarget table entries — which routes tier
+	// writes through a translation region that is only safe to program
+	// once its own torn pages and half-erased segments are repaired.
 	var err error
+	if r.MapTier, err = d.RecoverMapTier(); err != nil {
+		return r, err
+	}
+
 	if r.FlushesDiscarded, err = d.RecoverFlushes(); err != nil {
 		return r, err
 	}

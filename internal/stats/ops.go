@@ -18,6 +18,9 @@ const (
 	OpCleanCopy               // live-data copy batch during a segment clean
 	OpErase                   // segment erase
 	OpWearSwap                // relocation work done for a wear-leveling swap
+	OpMapFlush                // mapping-page writeback program (two-tier page table)
+	OpMapClean                // live mapping-page copy batch during a translation-segment clean
+	OpMapErase                // translation-segment erase
 	NumOpKinds
 )
 
@@ -32,6 +35,12 @@ func (k OpKind) String() string {
 		return "erase"
 	case OpWearSwap:
 		return "wear-swap"
+	case OpMapFlush:
+		return "map-flush"
+	case OpMapClean:
+		return "map-clean"
+	case OpMapErase:
+		return "map-erase"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
