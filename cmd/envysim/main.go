@@ -46,6 +46,8 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adapt the effective host queue depth to the observed suspension rate")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
+		flushPol  = flag.String("flush", "full", "flush policy: full (whole-page programs) or diff (page-differential logging)")
+		maxChain  = flag.Int("diffchain", 0, "diff-chain length bound before promotion to a full-page flush (0 = default)")
 		mapTier   = flag.Int("maptier", 0, "two-tier page table: SRAM mapping-page cache frames (0 = flat battery-backed table)")
 		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
 	)
@@ -88,6 +90,15 @@ func main() {
 	}
 	if *mapTier > 0 {
 		cfg.MapTier = &maptier.Params{CacheFrames: *mapTier}
+	}
+	switch *flushPol {
+	case "full":
+	case "diff":
+		cfg.FlushPolicy = core.DiffFlush
+		cfg.DiffMaxChain = *maxChain
+	default:
+		log.Printf("unknown flush policy %q", *flushPol)
+		os.Exit(2)
 	}
 
 	dev, err := core.New(cfg)
@@ -169,6 +180,11 @@ func main() {
 		100*b.Fraction(stats.Cleaning), 100*b.Fraction(stats.Erasing), 100*b.Fraction(stats.Idle))
 	wmin, wmax := dev.Array().WearSpread()
 	fmt.Printf("wear:             %d..%d erases per segment (%d swaps)\n", wmin, wmax, res.Counters.WearSwaps)
+	if *flushPol == "diff" {
+		c := res.Counters
+		fmt.Printf("diff logging:     %d records in %d units, %d merges, %d promotions, %d B programmed\n",
+			c.DiffRecordsWritten, c.DiffUnitPrograms, c.DiffMerges, c.DiffPromotions, dev.Array().ProgramBytes())
+	}
 	if mt := dev.MapTier(); mt != nil {
 		mc := mt.Counters()
 		fmt.Printf("mapping cache:    %.1f%% hit (%d hits, %d misses), %d writebacks (%d forced), %d translation cleans\n",
@@ -176,7 +192,7 @@ func main() {
 	}
 	ops := dev.OpStats()
 	fmt.Printf("background ops:   kind  done/started  suspensions (§3.4 preempted mid-flight)\n")
-	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap, stats.OpMapFlush, stats.OpMapClean, stats.OpMapErase} {
+	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpDiffFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap, stats.OpMapFlush, stats.OpMapClean, stats.OpMapErase} {
 		oc := ops.Get(k)
 		if oc.Started == 0 {
 			continue

@@ -8,7 +8,7 @@
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
 // breakdown, lifetime, parallel, hostdepth, parhost, parwall,
-// ablations, maptier.
+// ablations, maptier, diffflush.
 //
 // -json additionally writes BENCH_results.json: one record per
 // experiment with its headline metrics, the scale profile, the seed,
@@ -248,6 +248,15 @@ func main() {
 		}
 		experiments.MapTierTable(res).Print(out)
 		record("maptier", experiments.MapTierMetrics(res), start)
+	}
+	if selected("diffflush") {
+		start := time.Now()
+		res, err := experiments.DiffFlush(sc)
+		if err != nil {
+			fail("diffflush", err)
+		}
+		experiments.DiffFlushTable(res).Print(out)
+		record("diffflush", experiments.DiffFlushMetrics(res), start)
 	}
 
 	if *jsonFlag {

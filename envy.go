@@ -53,6 +53,36 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// FlushPolicy selects how the write-back path drains dirty SRAM frames
+// to Flash (Config.FlushPolicy).
+type FlushPolicy int
+
+const (
+	// FullPageFlush is the paper's write-back: every drained frame
+	// programs a full Flash page. The default.
+	FullPageFlush FlushPolicy = iota
+
+	// DiffFlush enables page-differential logging: a drained frame with
+	// a small dirty span appends a diff record — packed with records
+	// from other frames into one shared program unit — to a per-page
+	// chain over an unchanged base copy. Reads of a chained page merge
+	// base and overlapping records; cleaning consolidates chains into
+	// fresh full copies; a chain at Config.DiffMaxChain records is
+	// promoted back to a full-page flush. Incompatible with
+	// ParallelService.
+	DiffFlush
+)
+
+func (p FlushPolicy) String() string {
+	switch p {
+	case FullPageFlush:
+		return "full-page"
+	case DiffFlush:
+		return "diff"
+	}
+	return fmt.Sprintf("FlushPolicy(%d)", int(p))
+}
+
 // Config describes an eNVy device. Zero fields take the paper's
 // defaults (Figure 12) scaled to the geometry.
 type Config struct {
@@ -139,6 +169,17 @@ type Config struct {
 	// bit-identical to builds without the tier. Incompatible with
 	// ParallelService.
 	MapTier *MapTierConfig
+
+	// FlushPolicy selects the write-back path: FullPageFlush (the
+	// default, the paper's full-page programs, bit-identical to builds
+	// without the policy layer) or DiffFlush (page-differential
+	// logging). Incompatible with ParallelService.
+	FlushPolicy FlushPolicy
+
+	// DiffMaxChain bounds a page's diff chain under DiffFlush: once a
+	// chain holds this many records the next drain promotes the page to
+	// a full-page flush that supersedes base and chain (default 3).
+	DiffMaxChain int
 
 	// Dataless drops page payload storage for timing-only studies;
 	// reads return zeros.
@@ -268,6 +309,8 @@ func (c Config) coreConfig() core.Config {
 		PageTableShards:   c.PageTableShards,
 		ParallelService:   c.ParallelService,
 		Dataless:          c.Dataless,
+		DiffMaxChain:      c.DiffMaxChain,
+		FlushPolicy:       core.FlushPolicyKind(c.FlushPolicy),
 	}
 	if c.MapTier != nil {
 		cc.MapTier = &maptier.Params{
@@ -677,6 +720,13 @@ type RecoveryReport struct {
 	FlushesDiscarded int
 	StrayFlushes     int
 
+	// DiffUnitsDiscarded in-flight shared diff-unit programs were
+	// discarded (every member frame remains current, dirty span
+	// retained); DiffEntriesDropped unclaimed diff-chain entries were
+	// dropped (Config.FlushPolicy DiffFlush only).
+	DiffUnitsDiscarded int
+	DiffEntriesDropped int
+
 	// HalfErased segments had their interrupted erase run again.
 	HalfErased int
 
@@ -723,13 +773,16 @@ func (dev *Device) Recover() (RecoveryReport, error) {
 	return RecoveryReport{
 		FlushesDiscarded: r.FlushesDiscarded,
 		StrayFlushes:     r.StrayFlushes,
-		HalfErased:       r.HalfErased,
-		CleanFinished:    r.CleanFinished,
-		WearSwapFinished: r.WearSwapFinished,
-		TornQuarantined:  r.TornQuarantined,
-		Orphans:          r.Orphans,
-		MountWearSwaps:   r.MountWearSwaps,
-		RolledBackPages:  r.RolledBackPages,
+
+		DiffUnitsDiscarded: r.DiffUnitsDiscarded,
+		DiffEntriesDropped: r.DiffEntriesDropped,
+		HalfErased:         r.HalfErased,
+		CleanFinished:      r.CleanFinished,
+		WearSwapFinished:   r.WearSwapFinished,
+		TornQuarantined:    r.TornQuarantined,
+		Orphans:            r.Orphans,
+		MountWearSwaps:     r.MountWearSwaps,
+		RolledBackPages:    r.RolledBackPages,
 
 		MapWritebacksDiscarded: r.MapTier.InflightDiscarded,
 		MapCleanFinished:       r.MapTier.CleanFinished,
@@ -781,6 +834,22 @@ type Stats struct {
 
 	// CleaningCost is cleaner programs per flushed page (§4.1).
 	CleaningCost float64
+
+	// Differential flush policy counters (Config.FlushPolicy DiffFlush;
+	// zero under the full-page policy). DiffRecordsWritten counts diff
+	// records programmed into shared units, DiffUnitPrograms the unit
+	// programs that carried them, DiffMerges base∪chain merges (read
+	// misses, copy-on-write, cleaning consolidation), DiffPromotions
+	// chains promoted to full-page flushes at the DiffMaxChain bound.
+	DiffRecordsWritten int64
+	DiffUnitPrograms   int64
+	DiffMerges         int64
+	DiffPromotions     int64
+
+	// ProgramBytes is the total bytes physically programmed into Flash
+	// pages — pages × PageSize under the full-page policy, less under
+	// differential logging (the write-amplification numerator).
+	ProgramBytes int64
 
 	// Controller time fractions (of total elapsed time, §5.3).
 	FracIdle, FracReading, FracWriting    float64
@@ -919,6 +988,11 @@ func (dev *Device) Stats() Stats {
 		Erases:                c.Erases,
 		WearSwaps:             c.WearSwaps,
 		CleaningCost:          c.CleaningCost(),
+		DiffRecordsWritten:    c.DiffRecordsWritten,
+		DiffUnitPrograms:      c.DiffUnitPrograms,
+		DiffMerges:            c.DiffMerges,
+		DiffPromotions:        c.DiffPromotions,
+		ProgramBytes:          dev.d.Array().ProgramBytes(),
 		FracIdle:              b.Fraction(stats.Idle),
 		FracReading:           b.Fraction(stats.Reading),
 		FracWriting:           b.Fraction(stats.Writing),

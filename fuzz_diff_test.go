@@ -1,0 +1,192 @@
+package envy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"envy/internal/invariant"
+)
+
+// FuzzDiffRecovery is FuzzCrashRecovery with the differential flush
+// policy on: the fuzzer's byte stream drives host traffic and the
+// power switch against a device whose write-back packs diff records
+// from several pages into shared program units, so crashes land on
+// torn unit programs, interrupted chain consolidations, and the
+// copy-on-write keep window as well as every full-page boundary (the
+// promotion path exercises those too). The durability contract is
+// identical — after every recovery the logical space must read back
+// exactly as the word-granularity model says — and the full invariant
+// suite (diff-claim bijection included) runs after every step.
+func FuzzDiffRecovery(f *testing.F) {
+	// Seeds mirror FuzzCrashRecovery's crash classes, with dense
+	// same-page rewrites (building diff chains past the promotion
+	// bound) before each plan fires.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 5, 0, 0, 7, 0, 0, 0, 2, 0})
+	f.Add([]byte{4, 0, 9, 0, 0, 0, 0, 1, 0, 0, 1, 0, 2, 0, 3, 50, 0})
+	f.Add([]byte{4, 1, 2, 0, 0, 0, 3, 255, 0, 3, 255, 0, 0, 1, 0})
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 0, 1, 0, 5, 0, 0, 0, 2, 0})
+	f.Add([]byte{4, 2, 5, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 2, 0})
+	f.Add([]byte{4, 3, 20, 3, 255, 0, 3, 255, 0, 0, 0, 0})
+	// A long rewrite/crash program to walk the crash point into unit
+	// programs mid-chain and into cleaning-time consolidation.
+	f.Add([]byte{4, 0, 40, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0, 2, 0, 0, 3, 0, 0, 4, 5, 0, 0, 0, 0, 5, 0, 0, 6})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 512 {
+			program = program[:512]
+		}
+		dev, err := New(Config{
+			PageSize:          64,
+			PagesPerSegment:   16,
+			Segments:          8,
+			Banks:             2,
+			Policy:            HybridPolicy,
+			PartitionSegments: 2,
+			WearThreshold:     4,
+			BufferPages:       24,
+			FlushPolicy:       DiffFlush,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chk invariant.Checker
+		model := make(map[uint64]uint32)
+		pend := make(map[uint64]uint32)
+		inTxn := false
+
+		verifyAll := func(step int) {
+			for addr := uint64(0); addr < uint64(dev.Size()); addr += 4 {
+				v, _, err := dev.ReadWordErr(addr)
+				if err != nil {
+					t.Fatalf("step %d: post-recovery read at %d: %v", step, addr, err)
+				}
+				if want := model[addr]; v != want {
+					t.Fatalf("step %d: post-recovery read %#x at %d, want %#x", step, v, addr, want)
+				}
+			}
+		}
+		recoverNow := func(step int) {
+			rep, err := dev.Recover()
+			if err != nil {
+				t.Fatalf("step %d: recovery failed: %v (report: %+v)", step, err, rep)
+			}
+			inTxn = false
+			pend = make(map[uint64]uint32)
+			verifyAll(step)
+			if err := chk.Check(dev.Core()); err != nil {
+				t.Fatalf("step %d: after recovery: %v", step, err)
+			}
+		}
+		fail := func(step int, err error, addr uint64) bool {
+			if err == nil {
+				return false
+			}
+			if errors.Is(err, ErrPowerFailure) {
+				return true
+			}
+			if addr < uint64(dev.Size()) {
+				t.Fatalf("step %d: in-range access rejected: %v", step, err)
+			}
+			return true
+		}
+
+		for step := 0; step+3 <= len(program); step += 3 {
+			if dev.Crashed() {
+				recoverNow(step)
+			}
+			op, lo, hi := program[step], program[step+1], program[step+2]
+			addr := (uint64(hi)<<8 | uint64(lo)) * 4 % (uint64(dev.Size()) + 64)
+			switch op % 8 {
+			case 0, 1: // write one word
+				v := uint32(step)<<8 | uint32(lo)
+				if fail(step, func() error { _, err := dev.WriteWordErr(addr, v); return err }(), addr) {
+					continue
+				}
+				if inTxn {
+					pend[addr] = v
+				} else {
+					model[addr] = v
+				}
+			case 2: // read one word and verify
+				v, _, err := dev.ReadWordErr(addr)
+				if fail(step, err, addr) {
+					continue
+				}
+				want := model[addr]
+				if w, ok := pend[addr]; inTxn && ok {
+					want = w
+				}
+				if v != want {
+					t.Fatalf("step %d: read %#x at %d, want %#x", step, v, addr, want)
+				}
+			case 3: // idle (background work, timed plans)
+				dev.Idle(time.Duration(lo) * time.Microsecond)
+			case 4: // arm a crash plan
+				var plan FaultPlan
+				switch lo % 5 {
+				case 0:
+					plan.Program = 1 + int64(hi)
+				case 1:
+					plan.Erase = 1 + int64(hi%8)
+				case 2:
+					plan.Retarget = 1 + int64(hi)
+				case 3:
+					plan.At = time.Duration(1+int(hi)) * 100 * time.Microsecond
+				case 4:
+					plan.Probability = float64(1+int(hi)) / 2048
+					plan.Seed = uint64(step)
+				}
+				dev.ArmFault(plan)
+			case 5: // yank the power mid-whatever is queued
+				dev.CrashPowerCycle()
+			case 6: // transaction machinery
+				if !inTxn {
+					err = dev.Begin()
+				} else if lo%2 == 0 {
+					if err = dev.Commit(); err == nil {
+						for a, v := range pend {
+							model[a] = v
+						}
+					}
+				} else {
+					err = dev.Rollback()
+				}
+				if fail(step, err, 0) {
+					continue
+				}
+				if inTxn {
+					pend = make(map[uint64]uint32)
+				}
+				inTxn = !inTxn
+			case 7: // clean power cycle (must be transparent)
+				if !dev.Crashed() {
+					dev.DisarmFault()
+					dev.PowerCycle()
+				}
+			}
+			if !dev.Crashed() {
+				if err := chk.Check(dev.Core()); err != nil {
+					t.Fatalf("after step %d (op %d): %v", step, op%8, err)
+				}
+			}
+		}
+		if dev.Crashed() {
+			recoverNow(len(program))
+		}
+		dev.DisarmFault()
+		if inTxn {
+			if err := dev.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for a, v := range pend {
+				model[a] = v
+			}
+		}
+		dev.Idle(10 * time.Second) // drain all background work
+		verifyAll(len(program))
+		if err := chk.Check(dev.Core()); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+	})
+}

@@ -204,15 +204,17 @@ func matchWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files [
 }
 
 func TestSimtime(t *testing.T) {
-	runFixture(t, analysis.Simtime, "envy/internal/core")   // violations + suppression
-	runFixture(t, analysis.Simtime, "envy/examples/clock")  // out of scope: clean
-	runFixture(t, analysis.Simtime, "envy/internal/panics") // no time use at all: clean
+	runFixture(t, analysis.Simtime, "envy/internal/core")      // violations + suppression
+	runFixture(t, analysis.Simtime, "envy/examples/clock")     // out of scope: clean
+	runFixture(t, analysis.Simtime, "envy/internal/panics")    // no time use at all: clean
+	runFixture(t, analysis.Simtime, "envy/internal/pagetable") // mapping layer joined the territory with the diff directory
 }
 
 func TestFlashstate(t *testing.T) {
-	runFixture(t, analysis.Flashstate, "envy/examples/rogue")    // violations + cache/read/suppression negatives
-	runFixture(t, analysis.Flashstate, "envy/internal/flash")    // owner mutating its own state: clean
-	runFixture(t, analysis.Flashstate, "envy/internal/switcher") // reads only: clean
+	runFixture(t, analysis.Flashstate, "envy/examples/rogue")     // violations (Table + DiffDirectory) + cache/read/suppression negatives
+	runFixture(t, analysis.Flashstate, "envy/internal/flash")     // owner mutating its own state: clean
+	runFixture(t, analysis.Flashstate, "envy/internal/switcher")  // reads only: clean
+	runFixture(t, analysis.Flashstate, "envy/internal/pagetable") // owner of Table and DiffDirectory: clean
 }
 
 func TestPanicpolicy(t *testing.T) {
@@ -244,8 +246,9 @@ func TestBanklock(t *testing.T) {
 func TestLanepurity(t *testing.T) {
 	// The sched fixture's effect facts must be in the store before the
 	// lane entries in the core fixture are checked.
-	runFixtureFacts(t, analysis.Lanepurity, []string{"envy/internal/sched"}, "envy/internal/core")
-	runFixture(t, analysis.Lanepurity, "envy/internal/sched") // writes, but no lane entries: clean
+	runFixtureFacts(t, analysis.Lanepurity, []string{"envy/internal/sched", "envy/internal/pagetable"}, "envy/internal/core")
+	runFixture(t, analysis.Lanepurity, "envy/internal/sched")     // writes, but no lane entries: clean
+	runFixture(t, analysis.Lanepurity, "envy/internal/pagetable") // shared-type writes, but no lane entries: clean
 }
 
 func TestMaporder(t *testing.T) {

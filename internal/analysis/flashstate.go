@@ -15,8 +15,9 @@ import (
 var Flashstate = &Analyzer{
 	Name: "flashstate",
 	Doc: "confine flash-array and page-table mutation to the owning layers\n\n" +
-		"Program/Invalidate/Erase on *flash.Array and MapFlash/MapSRAM/\n" +
-		"Unmap on *pagetable.Table change state that the whole-device\n" +
+		"Program/Invalidate/Erase on *flash.Array, MapFlash/MapSRAM/\n" +
+		"Unmap on *pagetable.Table, and the chain mutators on\n" +
+		"*pagetable.DiffDirectory change state that the whole-device\n" +
 		"invariants are written against. Only internal/flash,\n" +
 		"internal/pagetable, internal/core, internal/cleaner, and\n" +
 		"internal/maptier (which owns a private translation array) may\n" +
@@ -51,6 +52,19 @@ var guardedMethods = map[string]map[string]bool{
 		"MapFlash": true,
 		"MapSRAM":  true,
 		"Unmap":    true,
+	},
+	// The diff-chain directory (DESIGN.md §15): every mutator rewrites
+	// which flash pages a logical page's contents live on, so the same
+	// whole-device invariants guard it. Readers (Entry, UnitMembers,
+	// Entries, Units, UnitCount, SRAMBytes, ...) are unrestricted.
+	"envy/internal/pagetable.DiffDirectory": {
+		"Keep":         true,
+		"SetKeptBase":  true,
+		"Append":       true,
+		"DropChain":    true,
+		"Drop":         true,
+		"Rebase":       true,
+		"RelocateUnit": true,
 	},
 }
 

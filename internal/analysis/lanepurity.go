@@ -46,19 +46,20 @@ const laneEntryDirective = "//envyvet:lane-entry"
 // exclusive access to the frames and MMU a lane touches),
 // sim.LaneClock and the stats types (lane-local by construction).
 var laneSharedTypes = map[string]bool{
-	"envy/internal/core.Device":      true,
-	"envy/internal/host.Engine":      true,
-	"envy/internal/sched.Scheduler":  true,
-	"envy/internal/flash.Array":      true,
-	"envy/internal/flash.BankSet":    true,
-	"envy/internal/flash.segment":    true,
-	"envy/internal/sram.Buffer":      true,
-	"envy/internal/pagetable.Table":  true,
-	"envy/internal/pagetable.shard":  true,
-	"envy/internal/rlock.Table":      true,
-	"envy/internal/cleaner.Engine":   true,
-	"envy/internal/cleaner.Selector": true,
-	"envy/internal/maptier.Tier":     true,
+	"envy/internal/core.Device":             true,
+	"envy/internal/host.Engine":             true,
+	"envy/internal/sched.Scheduler":         true,
+	"envy/internal/flash.Array":             true,
+	"envy/internal/flash.BankSet":           true,
+	"envy/internal/flash.segment":           true,
+	"envy/internal/sram.Buffer":             true,
+	"envy/internal/pagetable.Table":         true,
+	"envy/internal/pagetable.shard":         true,
+	"envy/internal/rlock.Table":             true,
+	"envy/internal/cleaner.Engine":          true,
+	"envy/internal/cleaner.Selector":        true,
+	"envy/internal/maptier.Tier":            true,
+	"envy/internal/pagetable.DiffDirectory": true,
 }
 
 // maxLaneEffects caps the effect list carried per function; beyond it

@@ -36,6 +36,7 @@ var simPackages = map[string]bool{
 	"envy/internal/workload":    true,
 	"envy/internal/fault":       true,
 	"envy/internal/maptier":     true,
+	"envy/internal/pagetable":   true,
 	"envy/internal/recovery":    true,
 }
 

@@ -22,3 +22,19 @@ func Meddle(a *flash.Array, t *pagetable.Table, m *pagetable.MMU) {
 
 	a.Erase(2) //envyvet:allow flashstate
 }
+
+// MeddleDiff rewrites diff chains from outside the owning layers.
+func MeddleDiff(dd *pagetable.DiffDirectory) {
+	dd.Keep(0, 9, false)              // want `flashstate: \(\*pagetable\.DiffDirectory\)\.Keep mutates guarded state`
+	dd.SetKeptBase(0, true)           // want `flashstate: \(\*pagetable\.DiffDirectory\)\.SetKeptBase`
+	dd.Append(0, pagetable.DiffLoc{}) // want `flashstate: \(\*pagetable\.DiffDirectory\)\.Append`
+	dd.Rebase(0, 9, 11)               // want `flashstate: \(\*pagetable\.DiffDirectory\)\.Rebase`
+	dd.RelocateUnit(7, 8)             // want `flashstate: \(\*pagetable\.DiffDirectory\)\.RelocateUnit`
+	_ = dd.DropChain(0)               // want `flashstate: \(\*pagetable\.DiffDirectory\)\.DropChain`
+	_, _, _ = dd.Drop(0)              // want `flashstate: \(\*pagetable\.DiffDirectory\)\.Drop`
+
+	_ = dd.Entry(0) // reads are unrestricted
+	_ = dd.UnitCount()
+
+	dd.Rebase(0, 11, 9) //envyvet:allow flashstate
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"math/rand"
 
+	"envy/internal/pagetable"
 	"envy/internal/sched"
 	"envy/internal/wallhelp"
 )
@@ -19,6 +20,7 @@ var pkgCounter int
 type lane struct {
 	hits int
 	sc   *sched.Scheduler
+	dd   *pagetable.DiffDirectory
 }
 
 // localOnly writes lane-local fields. Clean.
@@ -48,6 +50,13 @@ func (ln *lane) crossPackage() {
 // sharedStruct writes a device-shared structure through a module call.
 func (ln *lane) sharedStruct() {
 	ln.sc.Reset() // want `lanepurity: write to shared envy/internal/sched\.Scheduler state at queue\.go:\d+, reachable from lane entry lane\.sharedStruct via envy/internal/sched\.Scheduler\.Reset`
+}
+
+// chainAppend grows a diff chain from a lane: the chain directory is
+// shared with the flush and cleaning machinery, so mutations belong in
+// the serial phases.
+func (ln *lane) chainAppend() {
+	ln.dd.Append(1, pagetable.DiffLoc{}) // want `lanepurity: write to shared envy/internal/pagetable\.DiffDirectory state at diff\.go:\d+, reachable from lane entry lane\.chainAppend via envy/internal/pagetable\.DiffDirectory\.Append`
 }
 
 // merge is the serial-phase helper: the same write is legal outside

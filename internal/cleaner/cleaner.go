@@ -229,6 +229,14 @@ type Engine struct {
 	// in flight (IntentNone between operations).
 	intent Intent
 
+	// consolidate, when set (differential flush policy), lets the
+	// controller substitute a merged base∪chain payload for a live page
+	// being cleaned, with an after-callback that retires the page's now
+	// redundant diff chain once the copy has landed. It is consulted
+	// only for ordinary logical pages — shared diff units (owner
+	// flash.DiffOwner) relocate like any live page, via remap.
+	consolidate func(logical, oldPPN uint32) (payload []byte, after func(newPPN uint32), ok bool)
+
 	work []Step // scratch accumulator for the current operation
 }
 
@@ -319,6 +327,12 @@ func New(arr *flash.Array, cfg Config, remap func(logical, oldPPN, newPPN uint32
 
 // Config returns the engine's configuration (with defaults resolved).
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetConsolidate installs the differential policy's clean-time merge
+// hook (nil disables it). See the Engine field for the contract.
+func (e *Engine) SetConsolidate(fn func(logical, oldPPN uint32) (payload []byte, after func(newPPN uint32), ok bool)) {
+	e.consolidate = fn
+}
 
 // Spare returns the currently reserved erased segment.
 func (e *Engine) Spare() int { return e.spare }
@@ -595,6 +609,34 @@ func (e *Engine) FlushAvoiding(logical uint32, home int, payload []byte, avoid f
 	return e.flush(logical, home, payload, avoid)
 }
 
+// FlushUnit programs one shared diff-record unit page (differential
+// flush policy) into Flash, with the same placement, cleaning and wear
+// rules as Flush. The unit carries diff records for several logical
+// pages, so it is owned by the flash.DiffOwner sentinel rather than by
+// any one of them, and only its first used bytes are modelled as
+// programmed. The caller accounts the member flushes; the unit program
+// is not itself a Flushes event, though it does feed the hybrid
+// policy's flush-rate estimate like any other program into a
+// partition's active segment.
+func (e *Engine) FlushUnit(home int, payload []byte, used int, avoid func(bank int) bool) (ppn uint32, work []Step) {
+	if e.cfg.Kind != Hybrid {
+		avoid = nil
+	}
+	e.work = e.work[:0]
+	e.maybeLevelWear()
+	seg := e.flushTarget(home, avoid)
+	for e.maybeLevelWear() {
+		seg = e.flushTarget(home, avoid)
+	}
+	page := e.nextFree(seg)
+	ppn = e.arr.Geometry().PPN(seg, page)
+	e.arr.ProgramUsed(ppn, flash.DiffOwner, payload, used)
+	if e.cfg.Kind == Hybrid {
+		e.noteFlush(e.partOf[seg])
+	}
+	return ppn, e.work
+}
+
 // nextFree returns the first free page index in a segment. Allocation
 // is append-only (§3.4: flushed data fills the space after the live
 // cluster), so free pages form a suffix.
@@ -813,9 +855,25 @@ func (e *Engine) cleanSegment(victim int) (dest int) {
 	e.arr.LivePages(victim, func(page int, logical uint32) {
 		oldPPN := geo.PPN(victim, page)
 		newPPN := geo.PPN(dest, moved)
-		e.arr.Program(newPPN, logical, e.arr.Page(oldPPN))
+		payload := e.arr.Page(oldPPN)
+		var after func(newPPN uint32)
+		if e.consolidate != nil && logical != flash.DiffOwner {
+			// Differential policy: a chained base is copied as its
+			// merged base∪chain image, and the chain (now redundant) is
+			// retired once the copy has landed — cleaning consolidates
+			// chains instead of relocating them (the after callback may
+			// invalidate dead unit pages, including ones later in this
+			// victim; LivePages skips pages that die mid-iteration).
+			if merged, fn, ok := e.consolidate(logical, oldPPN); ok {
+				payload, after = merged, fn
+			}
+		}
+		e.arr.Program(newPPN, logical, payload)
 		e.arr.Invalidate(oldPPN)
 		e.remap(logical, oldPPN, newPPN)
+		if after != nil {
+			after(newPPN)
+		}
 		moved++
 	})
 	if moved > 0 {

@@ -17,8 +17,11 @@ import (
 // returned by the engine) into scheduler operations.
 
 // flushInFlight reports whether at least one flush task is currently
-// expanded into scheduled operations.
-func (d *Device) flushInFlight() bool { return len(d.flushPPN) > 0 }
+// expanded into scheduled operations — a full-page program or a
+// shared diff-unit program.
+func (d *Device) flushInFlight() bool {
+	return len(d.flushPPN) > 0 || len(d.diffInflight) > 0
+}
 
 // highWater and lowWater are the flush trigger and drain floor in
 // pages.
@@ -72,7 +75,7 @@ func (d *Device) expandPending() bool {
 	// tied up erasing), the picker still finds enough distinct banks to
 	// fill every flush lane.
 	for d.cfg.ParallelFlush > 1 &&
-		d.flushInFlight() && len(d.flushPPN) < d.cfg.ParallelFlush+d.cfg.Geometry.Banks &&
+		d.flushInFlight() && d.inflightFlushes() < d.cfg.ParallelFlush+d.cfg.Geometry.Banks &&
 		d.buf.Len() > d.drainFloor() {
 		d.flushPending++
 		if !d.expandFlush() {
@@ -83,13 +86,19 @@ func (d *Device) expandPending() bool {
 	return progress
 }
 
-// expandFlush turns one pending flush task into scheduled operations.
-// The space bookkeeping happens eagerly here (the cleaner may clean
-// segments and relocate pages); the returned work is then played out
-// on the clock by the scheduler. Reports whether a flush was actually
-// started.
-func (d *Device) expandFlush() bool {
-	d.flushPending--
+// expandFlush turns one pending flush task into scheduled operations
+// via the configured write-back policy. The space bookkeeping happens
+// eagerly (the cleaner may clean segments and relocate pages); the
+// returned work is then played out on the clock by the scheduler.
+// Reports whether a flush was actually started.
+func (d *Device) expandFlush() bool { return d.policy.expandOne(d) }
+
+// selectFlushFrame picks the next frame to flush — the selection step
+// both write-back policies consult: the bank-aware pick when flush
+// programs may overlap (§6), with plain FIFO (Oldest) as the choice at
+// depth 1 and the fallback when every bank-compatible candidate
+// collides (progress beats placement).
+func (d *Device) selectFlushFrame() *sram.Frame {
 	var frame *sram.Frame
 	if d.cfg.ParallelFlush > 1 {
 		frame = d.pickFlushFrame()
@@ -97,16 +106,19 @@ func (d *Device) expandFlush() bool {
 	if frame == nil {
 		frame = d.buf.Oldest()
 	}
-	if frame == nil {
-		return false
-	}
+	return frame
+}
+
+// expandFullPage programs one whole buffered page — the full-page
+// policy's expansion, and the differential policy's promotion path.
+func (d *Device) expandFullPage(frame *sram.Frame) bool {
 	frame.Flushing = true
 	lpn := frame.Logical
 	var ppn uint32
 	var work []cleaner.Step
 	if d.cfg.ParallelFlush > 1 {
 		depth := 1
-		if len(d.flushPPN) >= d.cfg.ParallelFlush {
+		if d.inflightFlushes() >= d.cfg.ParallelFlush {
 			depth = 2
 		}
 		avoid := func(bank int) bool { return d.bankOccupied(bank, depth) }
@@ -115,6 +127,7 @@ func (d *Device) expandFlush() bool {
 		ppn, work = d.eng.Flush(lpn, frame.Home, frame.Data)
 	}
 	d.flushPPN[lpn] = ppn
+	d.stampFlush(ppn)
 
 	for _, st := range work {
 		d.enqueueStep(st)
@@ -149,6 +162,14 @@ func (d *Device) bankOccupied(bank, depth int) bool {
 			}
 		}
 	}
+	for _, u := range d.diffInflight {
+		seg, _ := geo.Split(u.ppn)
+		if geo.BankOf(seg) == bank {
+			if queued++; queued >= depth {
+				return true
+			}
+		}
+	}
 	if d.hostConc > 1 {
 		// Multi-outstanding mode: host accesses overlap background work,
 		// so banks hold their claims straight through host windows and
@@ -177,6 +198,10 @@ func (d *Device) pickFlushFrame() *sram.Frame {
 	occupied := make([]bool, geo.Banks)
 	for _, ppn := range d.flushPPN {
 		seg, _ := geo.Split(ppn)
+		occupied[geo.BankOf(seg)] = true
+	}
+	for _, u := range d.diffInflight {
+		seg, _ := geo.Split(u.ppn)
 		occupied[geo.BankOf(seg)] = true
 	}
 	var found *sram.Frame
@@ -252,6 +277,16 @@ func (d *Device) finishFlush(lpn uint32) {
 	} else {
 		d.setFlash(lpn, ppn)
 		d.buf.Remove(frame)
+		frame.ClearDirty()
+		if d.dir != nil {
+			// A full page reached Flash: the page's diff chain and kept
+			// base are superseded — unless an open transaction's shadow
+			// holds the base, in which case the chain must survive for
+			// rollback to re-apply over it.
+			if sh, shOk := d.shadows[lpn]; !shOk || !sh.hasFlash || !d.shadowHoldsBase(lpn, sh.ppn) {
+				d.dropEntry(lpn)
+			}
+		}
 	}
 	// Keep draining while above the low-water mark.
 	if d.buf.Len() > d.lowWater() && d.flushPending == 0 {

@@ -125,6 +125,18 @@ type Config struct {
 	// builds without the tier. Incompatible with ParallelService.
 	MapTier *maptier.Params
 
+	// FlushPolicy selects the write-back policy: FullPageFlush (the
+	// default — the paper's whole-page drain, bit-identical to builds
+	// without the policy layer) or DiffFlush (page-differential
+	// logging: dirty spans packed as diff records into shared unit
+	// pages). Incompatible with ParallelService.
+	FlushPolicy FlushPolicyKind
+
+	// DiffMaxChain bounds a page's diff-chain length under DiffFlush
+	// (default 3): a page whose chain is at the bound has its next
+	// flush promoted to a full page, which supersedes the chain.
+	DiffMaxChain int
+
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
 
@@ -203,6 +215,20 @@ func (c *Config) setDefaults() error {
 	if c.MapTier != nil && c.ParallelService {
 		return fmt.Errorf("core: MapTier is incompatible with ParallelService (the mapping cache is a single shared resource)")
 	}
+	switch c.FlushPolicy {
+	case FullPageFlush, DiffFlush:
+	default:
+		return fmt.Errorf("core: unknown FlushPolicy %d", c.FlushPolicy)
+	}
+	if c.FlushPolicy == DiffFlush && c.ParallelService {
+		return fmt.Errorf("core: FlushPolicy DiffFlush is incompatible with ParallelService (the diff directory is a single shared resource)")
+	}
+	if c.DiffMaxChain == 0 {
+		c.DiffMaxChain = 3
+	}
+	if c.DiffMaxChain < 0 {
+		return fmt.Errorf("core: DiffMaxChain %d must be positive", c.DiffMaxChain)
+	}
 	if c.Cleaning.LogicalPages == 0 {
 		pages := int(c.UtilizationTarget * float64(c.Geometry.Pages()))
 		max := (c.Geometry.Segments - 1) * c.Geometry.PagesPerSegment
@@ -261,6 +287,30 @@ type Device struct {
 	// (the cleaner may relocate it mid-flush).
 	flushPPN map[uint32]uint32
 
+	// policy is the pluggable write-back expansion (Config.FlushPolicy).
+	policy flushPolicy
+
+	// dir is the differential policy's battery-backed base + chain
+	// directory; nil under the full-page policy.
+	dir *pagetable.DiffDirectory
+
+	// diffInflight records the in-flight shared unit programs, keyed
+	// by a stable sequence number (diffSeq) because the cleaner may
+	// relocate a unit's physical page mid-program. Battery-backed
+	// recovery state, like flushPPN.
+	diffInflight map[uint64]*diffUnit
+	diffSeq      uint64
+
+	// flushStamp counts host flush programs (full pages and shared
+	// units); segStamp holds, per physical segment, the stamp of the
+	// last host flush programmed into it. Together they age-gate the
+	// diff path (see diffEligible): a base whose segment has left the
+	// log head's recent window flushes full-page instead, so stale
+	// pages keep migrating forward and segments keep decaying toward
+	// empty. nil under the full-page policy.
+	flushStamp int64
+	segStamp   []int64
+
 	// shadows records the pre-transaction state of pages touched by
 	// the open transaction (§6).
 	shadows map[uint32]*shadow
@@ -303,6 +353,14 @@ func New(cfg Config) (*Device, error) {
 	d.eng, err = cleaner.New(arr, cfg.Cleaning, d.remap, &d.counters)
 	if err != nil {
 		return nil, err
+	}
+	d.policy = fullPagePolicy{}
+	if cfg.FlushPolicy == DiffFlush {
+		d.policy = diffPolicy{}
+		d.dir = pagetable.NewDiffDirectory()
+		d.diffInflight = make(map[uint64]*diffUnit)
+		d.segStamp = make([]int64, cfg.Geometry.Segments)
+		d.eng.SetConsolidate(d.consolidateForClean)
 	}
 	if cfg.ParallelService {
 		d.mmus = newShardMMUs(cfg)
@@ -419,6 +477,10 @@ func (d *Device) latchCrash() {
 		ppn := d.flushPPN[lpn]
 		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
 	}
+	for _, seq := range sortedDiffSeqs(d.diffInflight) {
+		ppn := d.diffInflight[seq].ppn
+		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
+	}
 	if d.mt != nil {
 		now := d.now
 		d.mt.TearInflight(func(ppn uint32) uint64 {
@@ -458,17 +520,47 @@ func (d *Device) CrashPowerCycle() {
 // goes to the in-flight flush record, the transaction shadow record,
 // or the page table.
 func (d *Device) remap(logical, oldPPN, newPPN uint32) {
+	if logical == flash.DiffOwner {
+		// A shared diff-record unit moved: repoint every chain element
+		// referencing it — or, mid-program, the in-flight record.
+		for _, seq := range sortedDiffSeqs(d.diffInflight) {
+			if u := d.diffInflight[seq]; u.ppn == oldPPN {
+				u.ppn = newPPN
+				for i := range u.members {
+					u.members[i].loc.Unit = newPPN
+				}
+				return
+			}
+		}
+		d.dir.RelocateUnit(oldPPN, newPPN)
+		return
+	}
 	if ppn, flushing := d.flushPPN[logical]; flushing && ppn == oldPPN {
 		d.flushPPN[logical] = newPPN
 		return
 	}
 	if sh, ok := d.shadows[logical]; ok && sh.hasFlash && sh.ppn == oldPPN {
 		sh.ppn = newPPN
+		if d.dir != nil {
+			if e := d.dir.Entry(logical); e != nil && e.Base == oldPPN {
+				d.dir.Rebase(logical, oldPPN, newPPN)
+			}
+		}
 		return
 	}
 	if loc, ok := d.table.Lookup(logical); ok && !loc.InSRAM && loc.PPN == oldPPN {
+		if d.dir != nil {
+			if e := d.dir.Entry(logical); e != nil && e.Base == oldPPN {
+				d.dir.Rebase(logical, oldPPN, newPPN)
+			}
+		}
 		d.setFlash(logical, newPPN)
 		d.tierDrain()
+		return
+	}
+	if d.dir != nil && d.dir.BaseKept(logical, oldPPN) {
+		// The directory's kept base moved (the page itself is buffered).
+		d.dir.Rebase(logical, oldPPN, newPPN)
 		return
 	}
 	panic(fmt.Sprintf("core: cleaner moved page %d from %d, which no record accounts for", logical, oldPPN))
@@ -928,6 +1020,26 @@ func (d *Device) read(addr uint64, p []byte) (sim.Duration, error) {
 				p[i] = 0
 			}
 		}
+		if d.dir != nil {
+			// Differential policy read-miss merge: when the mapping
+			// points at a chained base, overlay the diff records
+			// covering the read window (the guard on loc.PPN keeps a
+			// chain suppressed while a full-page flush or transaction
+			// has moved the mapping off the base).
+			if e := d.dir.Entry(page); e != nil && loc.PPN == e.Base && len(e.Chain) > 0 {
+				if !d.inTxn && d.buf.Len() < d.highWater() {
+					// Read-side consolidation: a chained page the host
+					// is reading back is worth a frame — pull the
+					// merged image into SRAM exactly as a copy-on-write
+					// would, fully dirty, so repeat reads hit SRAM and
+					// the next drain programs a full page that
+					// supersedes base and chain. The buffer-pressure
+					// guard keeps reads from ever blocking on a frame.
+					return d.readInstall(page, bank, lat, p, off)
+				}
+				lat += d.applyChainWindow(e, p, off)
+			}
+		}
 	}
 	d.counters.HostReads++
 	d.completeAccessOn(bank, lat, stats.Reading)
@@ -980,6 +1092,7 @@ func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
 	if frame.Data != nil {
 		copy(frame.Data[off:], p)
 	}
+	frame.MarkDirty(off, off+len(p))
 	d.counters.HostWrites++
 	d.maybeScheduleFlush()
 	lat := d.now.Sub(start)
@@ -1003,15 +1116,29 @@ func (d *Device) copyOnWrite(page uint32) *sram.Frame {
 	home := d.eng.Home(page, hasFlash, loc.PPN)
 	invalidate := d.captureShadow(page, nil)
 	if hasFlash {
-		payload = d.arr.Page(loc.PPN)
+		var mergeLat sim.Duration
+		payload, mergeLat = d.mergedPage(page, loc.PPN)
+		if mergeLat > 0 {
+			// Chained base: the wide transfer needed the unit pages too.
+			d.completeAccess(mergeLat, stats.Writing)
+		}
 	}
 	frame := d.buf.Insert(page, home, payload)
 	d.setSRAM(page)
 	if d.inj != nil && d.inj.AtRetarget() {
 		panic(&fault.Crash{Point: fault.PointRetarget, LPN: page})
 	}
-	if hasFlash && invalidate {
-		d.arr.Invalidate(loc.PPN)
+	if hasFlash {
+		if d.dir != nil {
+			// Differential policy: keep the Flash copy alive as the
+			// page's diff base instead of invalidating it — the next
+			// flush may program just a diff record against it. The
+			// directory takes the liveness claim unless a transaction
+			// shadow already did.
+			d.dir.Keep(page, loc.PPN, invalidate)
+		} else if invalidate {
+			d.arr.Invalidate(loc.PPN)
+		}
 	}
 	d.counters.CopyOnWrites++
 	d.tierDrain()

@@ -5,6 +5,7 @@ import (
 
 	"envy/internal/flash"
 	"envy/internal/maptier"
+	"envy/internal/pagetable"
 	"envy/internal/sram"
 )
 
@@ -55,6 +56,70 @@ func (d *Device) RecoverFlushes() (discarded int, err error) {
 	return discarded, nil
 }
 
+// RecoverDiffFlushes resolves the differential policy's in-flight
+// shared unit programs after a crash, the diff-record analogue of
+// RecoverFlushes: every member's SRAM frame is the page's current copy
+// (its record was never appended to the chain), so the torn unit is
+// quarantined, the frames go back to being ordinary dirty frames, and
+// their retained dirty spans re-program the records on the next drain.
+// It then reconstructs the directory's claims: a chain whose base no
+// battery-backed record claims — the artifact of a crash inside the
+// copy-on-write keep window — is dropped (dead units invalidated; the
+// orphaned base is left to SweepOrphans), and a base both the table
+// and the directory claim is handed to the table. Returns the number
+// of unit programs discarded and entries dropped.
+func (d *Device) RecoverDiffFlushes() (discarded, dropped int, err error) {
+	if !d.crashed {
+		return 0, 0, fmt.Errorf("core: RecoverDiffFlushes on a device that is not crashed")
+	}
+	for _, seq := range sortedDiffSeqs(d.diffInflight) {
+		u := d.diffInflight[seq]
+		delete(d.diffInflight, seq)
+		for _, m := range u.members {
+			frame := d.buf.Lookup(m.lpn)
+			if frame == nil {
+				return discarded, dropped, fmt.Errorf("core: diff record for page %d has no buffered frame", m.lpn)
+			}
+			frame.Flushing = false
+			frame.Dirtied = false
+		}
+		switch st := d.arr.State(u.ppn); st {
+		case flash.Torn:
+			d.arr.Quarantine(u.ppn)
+		case flash.Valid:
+			d.arr.Invalidate(u.ppn)
+		case flash.Invalid:
+			// Already quarantined by an earlier recovery step.
+		default:
+			return discarded, dropped, fmt.Errorf("core: diff unit reservation targets %v page %d", st, u.ppn)
+		}
+		discarded++
+	}
+	if d.dir == nil {
+		return discarded, dropped, nil
+	}
+	var fix, drop []uint32
+	d.dir.Entries(func(lpn uint32, e *pagetable.DiffEntry) {
+		loc, ok := d.table.Lookup(lpn)
+		switch {
+		case e.KeptBase && ok && !loc.InSRAM && loc.PPN == e.Base:
+			fix = append(fix, lpn)
+		case !e.KeptBase && (!ok || loc.InSRAM):
+			if sh, shOk := d.shadows[lpn]; !shOk || !sh.hasFlash || sh.ppn != e.Base {
+				drop = append(drop, lpn)
+			}
+		}
+	})
+	for _, lpn := range fix {
+		d.dir.SetKeptBase(lpn, false)
+	}
+	for _, lpn := range drop {
+		d.dropEntry(lpn)
+		dropped++
+	}
+	return discarded, dropped, nil
+}
+
 // ClearStrayFlushing clears Flushing/Dirtied flags on frames that have
 // no reservation — the artifact of a crash after expandFlush marked
 // the frame but before the cleaner returned a target (the flush
@@ -92,6 +157,19 @@ func (d *Device) SweepOrphans() int {
 		if sh.hasFlash {
 			claimed[sh.ppn] = true
 		}
+	}
+	for _, u := range d.diffInflight {
+		claimed[u.ppn] = true
+	}
+	if d.dir != nil {
+		d.dir.Entries(func(lpn uint32, e *pagetable.DiffEntry) {
+			if e.KeptBase {
+				claimed[e.Base] = true
+			}
+		})
+		d.dir.Units(func(unit uint32, members []uint32) {
+			claimed[unit] = true
+		})
 	}
 	geo := d.cfg.Geometry
 	var orphans []uint32

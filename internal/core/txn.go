@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"envy/internal/flash"
+	"envy/internal/pagetable"
 	"envy/internal/sim"
 	"envy/internal/sram"
 )
@@ -92,7 +93,7 @@ func (d *Device) Commit() error {
 	}
 	for _, lpn := range sortedKeys(d.shadows) {
 		if sh := d.shadows[lpn]; sh.hasFlash {
-			d.arr.Invalidate(sh.ppn)
+			d.commitShadowBase(lpn, sh.ppn)
 		}
 		delete(d.shadows, lpn)
 	}
@@ -170,6 +171,10 @@ func (d *Device) restorePreimage(lpn uint32, pre []byte) {
 				frame.Data[i] = 0
 			}
 		}
+		// The whole frame content was replaced: the tracked dirty span
+		// must cover it, so a later differential flush cannot program a
+		// record that misses reverted bytes.
+		frame.MarkDirty(0, d.cfg.Geometry.PageSize)
 		if frame.Flushing {
 			frame.Dirtied = true
 		}
@@ -238,13 +243,14 @@ func (d *Device) preloadPage(page uint32, off int, data []byte) error {
 	buf := make([]byte, pageSize)
 	loc, mapped := d.table.Lookup(page)
 	if mapped {
-		if old := d.arr.Page(loc.PPN); old != nil {
+		if old, _ := d.mergedPage(page, loc.PPN); old != nil {
 			copy(buf, old)
 		}
 	}
 	copy(buf[off:], data)
 	home := d.eng.Home(page, mapped, loc.PPN)
 	if mapped {
+		d.dropEntry(page)
 		d.arr.Invalidate(loc.PPN)
 		d.table.Unmap(page)
 	}
@@ -278,7 +284,7 @@ func (d *Device) Churn(n int, seed uint64) {
 		}
 		loc, mapped := d.table.Lookup(page)
 		if mapped {
-			if old := d.arr.Page(loc.PPN); old != nil {
+			if old, _ := d.mergedPage(page, loc.PPN); old != nil {
 				copy(buf, old)
 			} else {
 				for j := range buf {
@@ -292,6 +298,7 @@ func (d *Device) Churn(n int, seed uint64) {
 		}
 		home := d.eng.Home(page, mapped, loc.PPN)
 		if mapped {
+			d.dropEntry(page)
 			d.arr.Invalidate(loc.PPN)
 			d.table.Unmap(page)
 		}
@@ -339,6 +346,44 @@ func (d *Device) CheckConsistency() error {
 	for _, lpn := range sortedKeys(d.shadows) {
 		if sh := d.shadows[lpn]; sh.hasFlash {
 			reachable[sh.ppn] = lpn
+		}
+	}
+	d.DiffFlushTargets(func(ppn uint32, members []uint32) {
+		reachable[ppn] = flash.DiffOwner
+	})
+	if d.dir != nil {
+		var derr error
+		d.dir.Entries(func(lpn uint32, e *pagetable.DiffEntry) {
+			if derr != nil {
+				return
+			}
+			if e.KeptBase {
+				if loc, ok := d.table.Lookup(lpn); !ok || !loc.InSRAM {
+					derr = fmt.Errorf("page %d keeps diff base %d but is not buffered", lpn, e.Base)
+					return
+				}
+				reachable[e.Base] = lpn
+			}
+		})
+		if derr != nil {
+			return derr
+		}
+		d.dir.Units(func(unit uint32, members []uint32) {
+			if derr != nil {
+				return
+			}
+			if st := d.arr.State(unit); st != flash.Valid {
+				derr = fmt.Errorf("diff unit %d is %v", unit, st)
+				return
+			}
+			if owner := d.arr.Owner(unit); owner != flash.DiffOwner {
+				derr = fmt.Errorf("diff unit %d is owned by %d, not the unit sentinel", unit, owner)
+				return
+			}
+			reachable[unit] = flash.DiffOwner
+		})
+		if derr != nil {
+			return derr
 		}
 	}
 	geo := d.cfg.Geometry

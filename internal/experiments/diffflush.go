@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/sim"
+)
+
+// The diffflush experiment measures what page-differential logging
+// buys on small-write workloads: the same bimodal word-write stream
+// (the Figure 8 locality mixes) runs against a full-page device and a
+// diff-policy device, and the sweep compares bytes physically
+// programmed per host byte written (write amplification), erase
+// counts, saturated write throughput, and mean read latency — the
+// diff policy's cost, since chained reads fetch unit pages.
+
+// DiffFlushProfile sizes one write-amplification sweep. Writes are
+// word-sized with offsets confined to a few cache lines of each page,
+// so dirty spans stay far below the page size — the workload class
+// differential logging exists for.
+type DiffFlushProfile struct {
+	Geometry     flash.Geometry
+	WorkingPages int // page span the bimodal mixes draw from
+	SpanWords    int // distinct word offsets touched per page
+	BufferPages  int
+	DiffMaxChain int // 0 = core default
+	Writes       int // timed writes per mix (the saturation phase)
+	Reads        int // timed reads per mix
+	Seed         uint64
+}
+
+// diffFlushProfile returns the standard profile: the policy-study
+// array shape with a buffer small enough that the write phase runs
+// flush-saturated, and a working set several times the buffer.
+func diffFlushProfile(sc Scale) DiffFlushProfile {
+	return DiffFlushProfile{
+		Geometry:     flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 128, Banks: 8},
+		WorkingPages: 8192,
+		SpanWords:    16,
+		BufferPages:  512,
+		DiffMaxChain: 2,
+		Writes:       120_000,
+		Reads:        40_000,
+		Seed:         sc.Seed,
+	}
+}
+
+// DiffFlushRow is one locality mix measured on both devices.
+type DiffFlushRow struct {
+	Locality string
+
+	FullWA, DiffWA         float64 // flash bytes programmed per host byte written
+	WAReduction            float64 // 1 - DiffWA/FullWA
+	FullErases, DiffErases int64
+	FullTPS, DiffTPS       float64 // saturated writes per simulated second
+	FullReadNs, DiffReadNs float64 // mean host read latency
+	ReadRatio              float64 // DiffReadNs / FullReadNs
+
+	DiffRecords    int64 // diff records programmed (diff device)
+	DiffUnits      int64 // shared unit programs that carried them
+	DiffPromotions int64 // chains promoted to full-page flushes
+}
+
+// DiffFlushResult is the full sweep.
+type DiffFlushResult struct {
+	Rows         []DiffFlushRow
+	DiffMaxChain int
+}
+
+// DiffFlush runs the write-amplification sweep at the standard
+// profile.
+func DiffFlush(sc Scale) (DiffFlushResult, error) {
+	return DiffFlushRun(diffFlushProfile(sc))
+}
+
+func diffFlushDevice(p DiffFlushProfile, diff bool) (*core.Device, error) {
+	cfg := core.Config{
+		Geometry: p.Geometry,
+		Cleaning: cleaner.Config{
+			Kind:              cleaner.Hybrid,
+			PartitionSegments: 16,
+		},
+		BufferPages: p.BufferPages,
+		Dataless:    true,
+	}
+	if diff {
+		cfg.FlushPolicy = core.DiffFlush
+		cfg.DiffMaxChain = p.DiffMaxChain
+	}
+	return core.New(cfg)
+}
+
+// diffFlushMeasure drives one device through the timed write phase, a
+// settle, and the timed read phase. Write amplification counts every
+// program — flushes, unit programs, cleaning copies, consolidations,
+// wear swaps — against the host's 4 bytes per write.
+func diffFlushMeasure(d *core.Device, p DiffFlushProfile, dist sim.Bimodal) (wa float64, erases int64, tps float64, readNs float64) {
+	pageSize := uint64(p.Geometry.PageSize)
+	rng := sim.NewRNG(p.Seed)
+	addr := func() uint64 {
+		page := dist.Draw(rng, p.WorkingPages)
+		off := rng.Intn(p.SpanWords)
+		return uint64(page)*pageSize + uint64(off)*4
+	}
+
+	// Touch every working page once so the measured phase rewrites
+	// flash-resident pages (the diff policy's case) instead of filling
+	// a blank array.
+	for page := 0; page < p.WorkingPages; page++ {
+		d.WriteWord(uint64(page)*pageSize, 1)
+	}
+	d.AdvanceTo(d.Now().Add(5 * sim.Second))
+
+	bytesBase := d.Array().ProgramBytes()
+	erasesBase := d.Array().TotalErases()
+	writeStart := d.Now()
+	for i := 0; i < p.Writes; i++ {
+		d.WriteWord(addr(), uint32(i)+2)
+	}
+	elapsed := d.Now().Sub(writeStart)
+	// Let the flush backlog settle so amplification counts the whole
+	// phase's programs and the read phase measures steady state.
+	d.AdvanceTo(d.Now().Add(5 * sim.Second))
+
+	wa = float64(d.Array().ProgramBytes()-bytesBase) / float64(p.Writes*4)
+	erases = d.Array().TotalErases() - erasesBase
+	tps = float64(p.Writes) / elapsed.Seconds()
+
+	var total sim.Duration
+	for i := 0; i < p.Reads; i++ {
+		_, lat := d.ReadWord(addr())
+		total += lat
+	}
+	readNs = float64(total) / float64(p.Reads) / float64(sim.Nanosecond)
+	return wa, erases, tps, readNs
+}
+
+// DiffFlushRun executes the sweep for an arbitrary profile; tests and
+// benchmarks call it with reduced ones.
+func DiffFlushRun(p DiffFlushProfile) (DiffFlushResult, error) {
+	var res DiffFlushResult
+	for _, loc := range Localities {
+		dist, err := sim.ParseLocality(loc)
+		if err != nil {
+			return res, err
+		}
+		full, err := diffFlushDevice(p, false)
+		if err != nil {
+			return res, fmt.Errorf("diffflush full-page device: %w", err)
+		}
+		diff, err := diffFlushDevice(p, true)
+		if err != nil {
+			return res, fmt.Errorf("diffflush diff device: %w", err)
+		}
+		res.DiffMaxChain = diff.Config().DiffMaxChain
+		fullWA, fullErases, fullTPS, fullNs := diffFlushMeasure(full, p, dist)
+		diffWA, diffErases, diffTPS, diffNs := diffFlushMeasure(diff, p, dist)
+		c := diff.Counters()
+		res.Rows = append(res.Rows, DiffFlushRow{
+			Locality:    loc,
+			FullWA:      fullWA,
+			DiffWA:      diffWA,
+			WAReduction: 1 - diffWA/fullWA,
+			FullErases:  fullErases, DiffErases: diffErases,
+			FullTPS: fullTPS, DiffTPS: diffTPS,
+			FullReadNs: fullNs, DiffReadNs: diffNs,
+			ReadRatio:      diffNs / fullNs,
+			DiffRecords:    c.DiffRecordsWritten,
+			DiffUnits:      c.DiffUnitPrograms,
+			DiffPromotions: c.DiffPromotions,
+		})
+	}
+	return res, nil
+}
+
+// DiffFlushMetrics flattens the sweep for BENCH_results.json.
+func DiffFlushMetrics(res DiffFlushResult) map[string]float64 {
+	m := map[string]float64{"diff_max_chain": float64(res.DiffMaxChain)}
+	for _, r := range res.Rows {
+		m["wa_full_"+r.Locality] = r.FullWA
+		m["wa_diff_"+r.Locality] = r.DiffWA
+		m["wa_reduction_"+r.Locality] = r.WAReduction
+		m["erase_ratio_"+r.Locality] = float64(r.DiffErases) / float64(r.FullErases)
+		m["tps_ratio_"+r.Locality] = r.DiffTPS / r.FullTPS
+		m["read_ratio_"+r.Locality] = r.ReadRatio
+	}
+	return m
+}
+
+// DiffFlushTable formats the sweep.
+func DiffFlushTable(res DiffFlushResult) Table {
+	t := Table{
+		Title: "diffflush: page-differential logging vs full-page write-back",
+		Note: fmt.Sprintf(
+			"word writes over %s mixes; WA = flash bytes programmed per host byte; chain bound %d",
+			"fig8 locality", res.DiffMaxChain),
+		Header: []string{"locality", "WA full", "WA diff", "reduction", "erases full", "erases diff", "TPS ratio", "read ns full", "read ns diff", "read ratio"},
+	}
+	for _, r := range res.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Locality, f2(r.FullWA), f2(r.DiffWA),
+			fmt.Sprintf("%.0f%%", 100*r.WAReduction),
+			fmt.Sprintf("%d", r.FullErases), fmt.Sprintf("%d", r.DiffErases),
+			f2(r.DiffTPS / r.FullTPS),
+			f0(r.FullReadNs), f0(r.DiffReadNs), f2(r.ReadRatio),
+		})
+	}
+	return t
+}

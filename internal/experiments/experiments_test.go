@@ -273,3 +273,67 @@ func TestMapTierSweepShape(t *testing.T) {
 		t.Errorf("metrics map inconsistent: %v", m)
 	}
 }
+
+// microDiffFlushProfile shrinks the write-amplification sweep to test
+// size while keeping its shape: the hot set overflows the buffer so
+// the write phase runs flush-saturated, and word-sized spans keep
+// nearly every rewrite on the diff path.
+func microDiffFlushProfile() DiffFlushProfile {
+	return DiffFlushProfile{
+		Geometry:     flash.Geometry{PageSize: 256, PagesPerSegment: 64, Segments: 64, Banks: 8},
+		WorkingPages: 2048,
+		SpanWords:    16,
+		BufferPages:  128,
+		DiffMaxChain: 2,
+		Writes:       20_000,
+		Reads:        6_000,
+		Seed:         1,
+	}
+}
+
+func TestDiffFlushSweepShape(t *testing.T) {
+	res, err := DiffFlushRun(microDiffFlushProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Localities) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(Localities))
+	}
+	if res.DiffMaxChain != 2 {
+		t.Errorf("chain bound %d did not reach the device, want 2", res.DiffMaxChain)
+	}
+	for _, r := range res.Rows {
+		if r.FullWA <= 0 || r.DiffWA <= 0 {
+			t.Fatalf("%s: non-positive write amplification (full %.2f, diff %.2f)", r.Locality, r.FullWA, r.DiffWA)
+		}
+		if r.FullReadNs <= 0 || r.DiffReadNs <= 0 {
+			t.Fatalf("%s: non-positive read latency", r.Locality)
+		}
+		if r.DiffRecords == 0 || r.DiffUnits == 0 {
+			t.Errorf("%s: differential device wrote no diff records (records %d, units %d)",
+				r.Locality, r.DiffRecords, r.DiffUnits)
+		}
+		if r.ReadRatio > 1.5 {
+			t.Errorf("%s: chained reads %.2fx the baseline — merge cost out of control", r.Locality, r.ReadRatio)
+		}
+	}
+	// The policy must actually save programming somewhere; the sweep's
+	// point is that small-span rewrites cost less than full pages.
+	best := 0.0
+	for _, r := range res.Rows {
+		if r.WAReduction > best {
+			best = r.WAReduction
+		}
+	}
+	if best < 0.10 {
+		t.Errorf("no mix reduced write amplification by even 10%% (best %.0f%%)", 100*best)
+	}
+	tbl := DiffFlushTable(res)
+	if len(tbl.Rows) != len(res.Rows) {
+		t.Error("table row count mismatch")
+	}
+	m := DiffFlushMetrics(res)
+	if m["diff_max_chain"] != 2 || m["wa_full_10/90"] != res.Rows[4].FullWA {
+		t.Errorf("metrics map inconsistent: %v", m)
+	}
+}

@@ -59,6 +59,13 @@ func (s PageState) String() string {
 // NoPage is the sentinel "no physical page" value.
 const NoPage = ^uint32(0)
 
+// DiffOwner is the sentinel logical owner recorded for shared
+// diff-record unit pages (differential flush policy): a unit packs
+// records for several logical pages, so no single logical page owns
+// it. Distinct from NoPage so ownership checks can tell "no owner"
+// from "owned by the diff directory".
+const DiffOwner = ^uint32(0) - 1
+
 // Geometry describes the physical organization of the array.
 type Geometry struct {
 	PageSize        int // bytes per page; the bank width (256 in the paper)
@@ -180,6 +187,12 @@ type Array struct {
 	segs     []segment
 	programs int64 // total page program operations, across all segments
 
+	// programBytes tallies the bytes actually programmed: PageSize per
+	// full-page program, or the used prefix for partial-page unit
+	// programs (ProgramUsed). The write-amplification studies compare
+	// this across flush policies.
+	programBytes int64
+
 	// inj, when set, is consulted at every program and erase — the
 	// operations a power failure can physically interrupt. A firing
 	// injector leaves the torn state behind and panics with a
@@ -297,6 +310,22 @@ func (a *Array) Page(ppn uint32) []byte {
 // violation and panics, because it indicates a controller bug rather
 // than a runtime condition.
 func (a *Array) Program(ppn uint32, logical uint32, payload []byte) {
+	a.program(ppn, logical, payload, a.geo.PageSize)
+}
+
+// ProgramUsed is Program for partially filled pages: used is the
+// number of bytes actually occupied (a diff-record unit's header plus
+// records), which is what the byte tally charges. The physical page is
+// still consumed whole — flash programs at page granularity — so state
+// accounting is identical to Program.
+func (a *Array) ProgramUsed(ppn uint32, logical uint32, payload []byte, used int) {
+	if used < 0 || used > a.geo.PageSize {
+		panic(fmt.Sprintf("flash: programming page %d with %d used bytes (page size %d)", ppn, used, a.geo.PageSize))
+	}
+	a.program(ppn, logical, payload, used)
+}
+
+func (a *Array) program(ppn uint32, logical uint32, payload []byte, used int) {
 	seg, page := a.checkPPN(ppn)
 	s := &a.segs[seg]
 	if s.state[page] != Free {
@@ -313,6 +342,7 @@ func (a *Array) Program(ppn uint32, logical uint32, payload []byte) {
 	s.free--
 	s.live++
 	a.programs++
+	a.programBytes += int64(used)
 	if !a.dataless {
 		if s.data == nil {
 			s.data = make([]byte, a.geo.PagesPerSegment*a.geo.PageSize)
@@ -507,6 +537,11 @@ func (a *Array) EraseCount(seg int) int64 { return a.segs[seg].erases }
 
 // Programs returns the total page program operations performed.
 func (a *Array) Programs() int64 { return a.programs }
+
+// ProgramBytes returns the bytes actually programmed across all
+// program operations: PageSize per full-page program, the used prefix
+// per partial-page unit program.
+func (a *Array) ProgramBytes() int64 { return a.programBytes }
 
 // LivePages iterates a segment's Valid pages in physical order,
 // calling fn with the page index within the segment and the logical

@@ -45,6 +45,7 @@ import (
 	"envy/internal/cleaner"
 	"envy/internal/core"
 	"envy/internal/flash"
+	"envy/internal/pagetable"
 	"envy/internal/sim"
 	"envy/internal/sram"
 	"envy/internal/stats"
@@ -110,6 +111,9 @@ func CheckDevice(d *core.Device) error {
 	d.FlushTargets(func(lpn, ppn uint32) { reservations++ })
 	if armed := d.Scheduler().PendingDone(stats.OpFlush); armed != reservations {
 		return fmt.Errorf("invariant: %d armed flush completions but %d flush reservations", armed, reservations)
+	}
+	if armed, inflight := d.Scheduler().PendingDone(stats.OpDiffFlush), d.DiffInflightCount(); armed != inflight {
+		return fmt.Errorf("invariant: %d armed diff-flush completions but %d in-flight diff units", armed, inflight)
 	}
 	// Mapping-tier invariants (two-tier page table only): the
 	// translation region's segment counters recount exactly, every
@@ -216,6 +220,35 @@ func checkBijection(d *core.Device) error {
 	if err != nil {
 		return err
 	}
+	// Differential policy claims: in-flight and chained shared unit
+	// pages are owned by the unit sentinel; a kept base is claimed by
+	// the directory on behalf of its (buffered) logical page.
+	d.DiffFlushTargets(func(ppn uint32, members []uint32) {
+		if err == nil {
+			err = add(ppn, flash.DiffOwner, "in-flight diff unit")
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if dir := d.DiffDirectory(); dir != nil {
+		dir.Units(func(unit uint32, members []uint32) {
+			if err == nil {
+				err = add(unit, flash.DiffOwner, "diff chain unit")
+			}
+		})
+		if err != nil {
+			return err
+		}
+		dir.Entries(func(lpn uint32, e *pagetable.DiffEntry) {
+			if err == nil && e.KeptBase {
+				err = add(e.Base, lpn, "kept diff base")
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	// Every Valid page must be claimed (no leaks), and the live counters
 	// must agree with the number of claims (no phantom live pages).
@@ -249,8 +282,20 @@ func checkBijection(d *core.Device) error {
 func checkBuffer(d *core.Device) error {
 	table, buf := d.PageTable(), d.Buffer()
 
+	// Membership in an in-flight shared diff unit is the differential
+	// policy's flush reservation for a frame.
+	diffMembers := 0
+	inUnit := make(map[uint32]bool)
+	d.DiffFlushTargets(func(ppn uint32, members []uint32) {
+		for _, lpn := range members {
+			inUnit[lpn] = true
+			diffMembers++
+		}
+	})
+
 	// Frame side: every buffered frame is mapped into SRAM, and frames
-	// marked Flushing carry exactly one reservation.
+	// marked Flushing carry exactly one reservation — a full-page flush
+	// target or a diff-unit membership, never both.
 	var err error
 	flushing := 0
 	buf.Frames(func(f *sram.Frame) {
@@ -267,8 +312,11 @@ func checkBuffer(d *core.Device) error {
 		if err != nil {
 			return
 		}
-		_, reserved := d.FlushTarget(f.Logical)
+		_, reservedFull := d.FlushTarget(f.Logical)
+		reserved := reservedFull || inUnit[f.Logical]
 		switch {
+		case reservedFull && inUnit[f.Logical]:
+			err = fmt.Errorf("invariant: page %d has both a full-page flush reservation and a diff-unit record in flight", f.Logical)
 		case f.Flushing && !reserved:
 			err = fmt.Errorf("invariant: page %d is marked Flushing but has no flush reservation", f.Logical)
 		case !f.Flushing && reserved:
@@ -304,8 +352,9 @@ func checkBuffer(d *core.Device) error {
 	// only for pages that are buffered).
 	count := 0
 	d.FlushTargets(func(lpn, ppn uint32) { count++ })
-	if count != flushing {
-		return fmt.Errorf("invariant: %d flush reservations but %d Flushing frames", count, flushing)
+	if count+diffMembers != flushing {
+		return fmt.Errorf("invariant: %d flush reservations and %d diff-unit records but %d Flushing frames",
+			count, diffMembers, flushing)
 	}
 	return nil
 }

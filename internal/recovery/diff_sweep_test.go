@@ -1,0 +1,126 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/fault"
+	"envy/internal/invariant"
+	"envy/internal/recovery"
+)
+
+// Crash-point sweeps over the differential flush policy: the same
+// seeded workload replays with the power planned to fail at the k-th
+// program, erase, or retarget. With diff logging on, the program count
+// includes shared unit programs and cleaning-time consolidation
+// copies, so the sweep walks the crash point across torn diff records,
+// interrupted chain consolidations, and the copy-on-write keep window
+// as well as every full-page boundary.
+
+// diffSweepConfig is the torture geometry with the differential
+// write-back on; word-sized host writes produce 4-byte dirty spans, so
+// nearly every drain of a re-written page takes the diff path.
+// ParallelFlush overlaps flush programs across the two banks — at
+// depth 1 nothing programs while a unit is in flight, so no program
+// crash point could ever land on a registered unit.
+func diffSweepConfig() core.Config {
+	cfg := tortureConfig(cleaner.Hybrid)
+	cfg.FlushPolicy = core.DiffFlush
+	cfg.ParallelFlush = 2
+	return cfg
+}
+
+// sweepDiff replays the workload once per plan on a diff-policy
+// device, recovering and verifying after each planned crash.
+func sweepDiff(t *testing.T, maxK int, mkPlan func(k int64) fault.Plan) []recovery.Report {
+	t.Helper()
+	var reports []recovery.Report
+	for k := int64(1); k <= int64(maxK); k++ {
+		d, err := core.New(diffSweepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ArmFault(mkPlan(k))
+		model := make(map[uint64]uint32)
+		if !driveFixed(t, d, model, 0xd1ffbeef, 3000) {
+			break
+		}
+		rep, err := recovery.Recover(d)
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v (report: %v)", k, err, rep)
+		}
+		reports = append(reports, rep)
+		verifyModel(t, d, model)
+		if err := invariant.CheckDevice(d); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	return reports
+}
+
+func TestDiffSweepProgramCrashes(t *testing.T) {
+	maxK := 400
+	if testing.Short() {
+		maxK = 60
+	}
+	reports := sweepDiff(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Program: k}
+	})
+	if len(reports) < 30 {
+		t.Fatalf("only %d program crash points reached", len(reports))
+	}
+	// The shared program count must land crashes inside unit programs:
+	// torn diff units discarded with every member frame still current.
+	unitHit, dropHit := 0, 0
+	for _, rep := range reports {
+		if rep.DiffUnitsDiscarded > 0 {
+			unitHit++
+		}
+		if rep.DiffEntriesDropped > 0 {
+			dropHit++
+		}
+	}
+	t.Logf("program sweep: %d crashes, %d tore a diff unit, %d dropped unclaimed entries",
+		len(reports), unitHit, dropHit)
+	if unitHit == 0 {
+		t.Error("no program crash landed on a shared diff-unit program")
+	}
+}
+
+func TestDiffSweepEraseCrashes(t *testing.T) {
+	maxK := 60
+	if testing.Short() {
+		maxK = 12
+	}
+	reports := sweepDiff(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Erase: k}
+	})
+	if len(reports) < 5 {
+		t.Fatalf("only %d erase crash points reached", len(reports))
+	}
+	// Erases only happen inside cleans and wear swaps, whose intent
+	// replay must now cope with chained bases and relocated units.
+	for k, rep := range reports {
+		if !rep.CleanFinished && !rep.WearSwapFinished && rep.HalfErased == 0 {
+			t.Errorf("k=%d: an erase crashed outside any clean or swap: %v", k+1, rep)
+		}
+	}
+}
+
+// TestDiffSweepRetargetCrashes walks the §3.1 retarget crash point
+// with diff logging on: the copy-on-write window now also decides
+// whether a chained base is kept, so a crash inside it leaves chains
+// whose claims recovery must reconstruct or drop.
+func TestDiffSweepRetargetCrashes(t *testing.T) {
+	maxK := 120
+	if testing.Short() {
+		maxK = 25
+	}
+	reports := sweepDiff(t, maxK, func(k int64) fault.Plan {
+		return fault.Plan{Retarget: k}
+	})
+	if len(reports) < 10 {
+		t.Fatalf("only %d retarget crash points reached", len(reports))
+	}
+}

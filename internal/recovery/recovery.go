@@ -49,6 +49,17 @@ type Report struct {
 	// page's current version).
 	FlushesDiscarded int
 
+	// DiffUnitsDiscarded counts in-flight shared diff-unit programs
+	// (differential flush policy) resolved by quarantining the torn
+	// unit; every member frame remains the current copy of its page,
+	// with its dirty span retained for the next drain.
+	DiffUnitsDiscarded int
+
+	// DiffEntriesDropped counts diff-chain directory entries dropped at
+	// mount because no battery-backed record claimed their base — the
+	// artifact of a crash inside the copy-on-write keep window.
+	DiffEntriesDropped int
+
 	// StrayFlushes counts frames that were marked Flushing with no
 	// reservation yet (the crash hit before the flush target was
 	// chosen) and were reset to ordinary dirty frames.
@@ -93,6 +104,9 @@ func (r Report) String() string {
 	s := fmt.Sprintf(
 		"flushes discarded %d, stray flushes %d, half-erased segments %d, clean finished %v, wear swap finished %v, torn quarantined %d, orphans %d, mount wear swaps %d, rolled back %d",
 		r.FlushesDiscarded, r.StrayFlushes, r.HalfErased, r.CleanFinished, r.WearSwapFinished, r.TornQuarantined, r.Orphans, r.MountWearSwaps, r.RolledBackPages)
+	if r.DiffUnitsDiscarded > 0 || r.DiffEntriesDropped > 0 {
+		s += fmt.Sprintf("; diff units discarded %d, diff entries dropped %d", r.DiffUnitsDiscarded, r.DiffEntriesDropped)
+	}
 	if mt := r.MapTier; mt != (maptier.RecoverReport{}) {
 		s += fmt.Sprintf("; map tier: writebacks discarded %d, clean finished %v (%d copies), half-erased %d, torn quarantined %d, orphans %d",
 			mt.InflightDiscarded, mt.CleanFinished, mt.CleanCopies, mt.HalfErased, mt.TornQuarantined, mt.Orphans)
@@ -133,6 +147,9 @@ func Recover(d *core.Device) (Report, error) {
 	}
 
 	if r.FlushesDiscarded, err = d.RecoverFlushes(); err != nil {
+		return r, err
+	}
+	if r.DiffUnitsDiscarded, r.DiffEntriesDropped, err = d.RecoverDiffFlushes(); err != nil {
 		return r, err
 	}
 	r.StrayFlushes = d.ClearStrayFlushing()

@@ -192,7 +192,7 @@ func (s *Scheduler) pick() []*Op {
 		if op.claimed {
 			s.run = append(s.run, op)
 			s.bankTaken[op.Bank] = true
-			if op.Kind == stats.OpFlush {
+			if op.Kind.IsFlush() {
 				flushes++
 			}
 		}
@@ -204,7 +204,7 @@ func (s *Scheduler) pick() []*Op {
 		if op.claimed || s.bankTaken[op.Bank] || s.banks.Busy(op.Bank) {
 			continue
 		}
-		if op.Kind == stats.OpFlush {
+		if op.Kind.IsFlush() {
 			if flushes == s.flushLanes {
 				continue
 			}
@@ -317,7 +317,7 @@ func (s *Scheduler) chargeOverlap(run []*Op, dt sim.Duration) {
 	var flush, clean bool
 	for _, op := range run {
 		switch op.Kind {
-		case stats.OpFlush:
+		case stats.OpFlush, stats.OpDiffFlush:
 			flush = true
 		case stats.OpCleanCopy:
 			clean = true

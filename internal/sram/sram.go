@@ -35,9 +35,41 @@ type Frame struct {
 	// copy must be invalidated on completion and the frame re-queued.
 	Dirtied bool
 
+	// dirtyLo/dirtyHi bound the bytes written since the frame's dirty
+	// range was last cleared, as a half-open [lo, hi) span. The
+	// differential flush policy programs only this span (as a diff
+	// record against the kept Flash base) instead of the whole page.
+	// An empty span (lo == hi) means no tracked writes.
+	dirtyLo, dirtyHi int
+
 	idx        int
 	prev, next int
 }
+
+// MarkDirty extends the frame's dirty span to cover [lo, hi).
+func (f *Frame) MarkDirty(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if f.dirtyLo == f.dirtyHi { // empty span
+		f.dirtyLo, f.dirtyHi = lo, hi
+		return
+	}
+	if lo < f.dirtyLo {
+		f.dirtyLo = lo
+	}
+	if hi > f.dirtyHi {
+		f.dirtyHi = hi
+	}
+}
+
+// DirtySpan returns the tracked dirty span as a half-open [lo, hi)
+// byte range; lo == hi means no writes have been tracked.
+func (f *Frame) DirtySpan() (lo, hi int) { return f.dirtyLo, f.dirtyHi }
+
+// ClearDirty empties the tracked dirty span (after the span has been
+// captured into a programmed diff record).
+func (f *Frame) ClearDirty() { f.dirtyLo, f.dirtyHi = 0, 0 }
 
 // Buffer is the FIFO write buffer. It is not safe for concurrent use.
 type Buffer struct {
@@ -114,6 +146,7 @@ func (b *Buffer) Insert(logical uint32, home int, payload []byte) *Frame {
 	f.Home = home
 	f.Flushing = false
 	f.Dirtied = false
+	f.dirtyLo, f.dirtyHi = 0, 0
 	if !b.dataless {
 		if f.Data == nil {
 			f.Data = make([]byte, b.pageSize)

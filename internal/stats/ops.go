@@ -21,8 +21,14 @@ const (
 	OpMapFlush                // mapping-page writeback program (two-tier page table)
 	OpMapClean                // live mapping-page copy batch during a translation-segment clean
 	OpMapErase                // translation-segment erase
+	OpDiffFlush               // shared diff-record unit program (differential flush policy)
 	NumOpKinds
 )
+
+// IsFlush reports whether k programs write-buffer content to Flash —
+// the kinds the scheduler's flush-lane cap and the flush/clean overlap
+// accounting treat as flushes.
+func (k OpKind) IsFlush() bool { return k == OpFlush || k == OpDiffFlush }
 
 // String returns the operation kind name.
 func (k OpKind) String() string {
@@ -41,6 +47,8 @@ func (k OpKind) String() string {
 		return "map-clean"
 	case OpMapErase:
 		return "map-erase"
+	case OpDiffFlush:
+		return "diff-flush"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}

@@ -268,6 +268,13 @@ type Counters struct {
 
 	MMUHits   int64 // translations served by the MMU cache
 	MMUMisses int64 // translations requiring a page-table lookup
+
+	// Differential flush policy (page-differential logging). All four
+	// stay zero under the full-page policy.
+	DiffRecordsWritten int64 // diff records programmed into shared units
+	DiffUnitPrograms   int64 // shared unit pages programmed
+	DiffMerges         int64 // base∪chain merges performed (read miss, COW, clean)
+	DiffPromotions     int64 // chain-length-bound promotions to a full-page flush
 }
 
 // CleaningCost returns the paper's Flash cleaning cost metric: cleaner
@@ -293,6 +300,10 @@ func (c *Counters) Add(other Counters) {
 	c.WearSwaps += other.WearSwaps
 	c.MMUHits += other.MMUHits
 	c.MMUMisses += other.MMUMisses
+	c.DiffRecordsWritten += other.DiffRecordsWritten
+	c.DiffUnitPrograms += other.DiffUnitPrograms
+	c.DiffMerges += other.DiffMerges
+	c.DiffPromotions += other.DiffPromotions
 }
 
 // Reset zeroes every counter.
