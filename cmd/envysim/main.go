@@ -9,6 +9,14 @@
 //	envysim -parallel 8 -depth 16 -lanes -rate 30000  # lock-decomposed parallel service
 //	envysim -parallel 8 -depth 16 -adaptive -rate 30000  # adaptive queue depth
 //	envysim -paper -rate 30000 -seconds 2     # Figure 12 scale, ~2.5 GB RAM
+//
+// With -cluster N the command instead drives the sharded service tier:
+// N member devices behind one logical-page namespace, loaded with a
+// YCSB Zipfian mix, optionally crashing and recovering one member
+// mid-load:
+//
+//	envysim -cluster 4 -mix a -theta 0.9 -rate 1000000 -seconds 0.1
+//	envysim -cluster 4 -crash 2 -check    # mid-load crash, verify on drain
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 
 	"envy/internal/cleaner"
+	"envy/internal/cluster"
 	"envy/internal/core"
 	"envy/internal/flash"
 	"envy/internal/invariant"
@@ -26,6 +35,7 @@ import (
 	"envy/internal/sim"
 	"envy/internal/stats"
 	"envy/internal/tpca"
+	"envy/internal/workload"
 )
 
 func main() {
@@ -50,8 +60,17 @@ func main() {
 		maxChain  = flag.Int("diffchain", 0, "diff-chain length bound before promotion to a full-page flush (0 = default)")
 		mapTier   = flag.Int("maptier", 0, "two-tier page table: SRAM mapping-page cache frames (0 = flat battery-backed table)")
 		check     = flag.Bool("check", false, "run the whole-device invariant checker after warm-up and after the measured run")
+		clusterN  = flag.Int("cluster", 0, "run the sharded service tier with this many member devices (0 = single-device TPC-A mode)")
+		mix       = flag.String("mix", "a", "cluster mode: YCSB mix class a (50/50), b (95/5), or c (read-only)")
+		theta     = flag.Float64("theta", 0.9, "cluster mode: Zipfian skew of the page popularity distribution")
+		crash     = flag.Int("crash", -1, "cluster mode: crash this member mid-load and recover it (-1 = no crash)")
 	)
 	flag.Parse()
+
+	if *clusterN > 0 {
+		runCluster(*clusterN, *mix, *theta, *crash, *rate, *seconds, *warm, *seed, *check)
+		return
+	}
 
 	cfg := core.Config{
 		Geometry:    flash.Geometry{PageSize: 256, PagesPerSegment: 128, Segments: 128, Banks: 8},
@@ -180,8 +199,11 @@ func main() {
 		100*b.Fraction(stats.Cleaning), 100*b.Fraction(stats.Erasing), 100*b.Fraction(stats.Idle))
 	wmin, wmax := dev.Array().WearSpread()
 	fmt.Printf("wear:             %d..%d erases per segment (%d swaps)\n", wmin, wmax, res.Counters.WearSwaps)
-	if *flushPol == "diff" {
-		c := res.Counters
+	// Print whenever the counters are nonzero, not only when -flush=diff
+	// was requested: recovery replay and policy switches can leave diff
+	// activity on the books regardless of the current flag.
+	if c := res.Counters; *flushPol == "diff" ||
+		c.DiffRecordsWritten != 0 || c.DiffUnitPrograms != 0 || c.DiffMerges != 0 || c.DiffPromotions != 0 {
 		fmt.Printf("diff logging:     %d records in %d units, %d merges, %d promotions, %d B programmed\n",
 			c.DiffRecordsWritten, c.DiffUnitPrograms, c.DiffMerges, c.DiffPromotions, dev.Array().ProgramBytes())
 	}
@@ -194,7 +216,10 @@ func main() {
 	fmt.Printf("background ops:   kind  done/started  suspensions (§3.4 preempted mid-flight)\n")
 	for _, k := range []stats.OpKind{stats.OpFlush, stats.OpDiffFlush, stats.OpCleanCopy, stats.OpErase, stats.OpWearSwap, stats.OpMapFlush, stats.OpMapClean, stats.OpMapErase} {
 		oc := ops.Get(k)
-		if oc.Started == 0 {
+		// Skip only when every counter is zero: an op kind can show
+		// completions or suspensions without starts after a power-cycle
+		// recovery resets the in-flight set.
+		if oc.Started == 0 && oc.Completed == 0 && oc.Suspensions == 0 && oc.Resumes == 0 {
 			continue
 		}
 		fmt.Printf("                  %-11v %d/%d  %d\n", k, oc.Completed, oc.Started, oc.Suspensions)
@@ -211,5 +236,102 @@ func main() {
 
 	if err := dev.CheckConsistency(); err != nil {
 		log.Fatalf("consistency check failed: %v", err)
+	}
+}
+
+// runCluster drives the sharded service tier: members small-profile
+// devices behind one namespace, loaded with a YCSB Zipfian mix at the
+// offered rate for the given simulated window, optionally crashing and
+// recovering one member mid-load.
+func runCluster(members int, mixClass string, theta float64, crashShard int, rate, seconds, warmSecs float64, seed uint64, check bool) {
+	c, err := cluster.New(cluster.Config{
+		Members: members,
+		Member:  cluster.DefaultMemberConfig(),
+		Seed:    seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("cluster: %d members, %d-page namespace (%d B pages), hash-ring placement (seed %d)\n",
+		c.Members(), c.Pages(), c.PageSize(), seed)
+	for i, s := range st.Shards {
+		fmt.Printf("  member %d: %d pages (%.1f%% of namespace)\n",
+			i, s.Pages, 100*float64(s.Pages)/float64(c.Pages()))
+	}
+
+	gen, err := workload.YCSB(mixClass, c.Pages(), theta, seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, offered %.0f ops/s\n", gen, rate)
+
+	if warmOps := int(rate * warmSecs); warmOps > 0 {
+		warmGen, err := workload.YCSB(mixClass, c.Pages(), theta, seed+2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cluster.RunLoad(c, cluster.Load{
+			Gen: warmGen, Rate: rate, Ops: warmOps, Seed: seed + 3,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		c.ResetStats()
+	}
+
+	ops := int(rate * seconds)
+	if ops < 1 {
+		log.Fatalf("rate %.0f over %.2fs offers no operations", rate, seconds)
+	}
+	l := cluster.Load{
+		Gen: gen, Rate: rate, Ops: ops, Seed: seed + 4,
+		Verify: crashShard >= 0, Check: check,
+	}
+	if crashShard >= 0 {
+		if crashShard >= members {
+			log.Fatalf("crash member %d out of range [0, %d)", crashShard, members)
+		}
+		l.CrashShard = crashShard
+		l.CrashAtOp = ops / 3
+		l.RecoverAtOp = 2 * ops / 3
+	}
+	res, err := cluster.RunLoad(c, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noffered %d ops over %.2fs simulated\n", res.Offered, res.Elapsed.Seconds())
+	fmt.Printf("completed:        %d ops (%.0f TPS), %d acked, %d failed, %d rejected\n",
+		res.Completed, res.TPS, res.Acked, res.Failed, res.Rejected)
+	fmt.Printf("sojourn latency:  p50 %dns  p95 %dns  p99 %dns  max %dns\n",
+		int64(res.P50), int64(res.P95), int64(res.P99), int64(res.Max))
+	fmt.Printf("backpressure:     %d submissions at or over effective depth\n", res.Backpressured)
+	if res.Crashed {
+		fmt.Printf("crash timeline:   member %d armed @%.2fms, detected @%.2fms, rejoined @%.2fms, drained @%.2fms (drain %.2fms)\n",
+			res.CrashShard,
+			float64(res.CrashArmedAt)/1e6, float64(res.CrashDetectedAt)/1e6,
+			float64(res.RejoinedAt)/1e6, float64(res.DrainedAt)/1e6, float64(res.DrainTime)/1e6)
+		rep := res.Recovery
+		fmt.Printf("recovery:         %d flushes discarded, %d stray, %d diff units discarded, %d diff entries dropped\n",
+			rep.FlushesDiscarded, rep.StrayFlushes, rep.DiffUnitsDiscarded, rep.DiffEntriesDropped)
+		fmt.Printf("verification:     %d acknowledged writes read back, %d lost\n", res.VerifiedWrites, res.LostAcked)
+		if res.LostAcked != 0 {
+			log.Fatalf("%d acknowledged writes lost", res.LostAcked)
+		}
+	}
+
+	st = c.Stats()
+	fmt.Printf("per member:       id  submitted  acked  failed  rejected  backpressured  depth  reads  writes  flushes  cleans\n")
+	for i, s := range st.Shards {
+		fmt.Printf("                  %-3d %-10d %-6d %-7d %-9d %-14d %-6d %-6d %-7d %-8d %d\n",
+			i, s.Submitted, s.Acked, s.Failed, s.Rejected, s.Backpressured,
+			s.EffectiveDepth, s.Device.Reads, s.Device.Writes, s.Device.Flushes, s.Device.SegmentCleans)
+	}
+	if !check {
+		// -check runs CheckAll inside the load; otherwise verify the
+		// members' internal consistency here before exiting.
+		if err := c.CheckAll(); err != nil {
+			log.Fatalf("cluster consistency check failed: %v", err)
+		}
 	}
 }

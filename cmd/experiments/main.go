@@ -8,7 +8,7 @@
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
 // breakdown, lifetime, parallel, hostdepth, parhost, parwall,
-// ablations, maptier, diffflush.
+// ablations, maptier, diffflush, cluster.
 //
 // -json additionally writes BENCH_results.json: one record per
 // experiment with its headline metrics, the scale profile, the seed,
@@ -257,6 +257,17 @@ func main() {
 		}
 		experiments.DiffFlushTable(res).Print(out)
 		record("diffflush", experiments.DiffFlushMetrics(res), start)
+	}
+	if selected("cluster") {
+		start := time.Now()
+		res, err := experiments.Cluster(sc)
+		if err != nil {
+			fail("cluster", err)
+		}
+		experiments.ClusterTable(res).Print(out)
+		metrics := experiments.ClusterMetrics(res)
+		metrics["num_cpu"] = float64(runtime.NumCPU())
+		record("cluster", metrics, start)
 	}
 
 	if *jsonFlag {

@@ -514,11 +514,49 @@ func (r *Request) Done() <-chan struct{} { return r.done }
 // single-outstanding host: Submit services r synchronously and is
 // bit-identical to the corresponding *Err method.
 func (dev *Device) Submit(r *Request) error {
+	if err := dev.prepare(r); err != nil {
+		return err
+	}
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.eng.Submit(r.inner)
+	return nil
+}
+
+// SubmitAll validates every request, then enqueues the batch under one
+// device-mutex acquisition. Either the whole batch is accepted or none
+// of it: the first validation failure returns its error with no
+// request enqueued (the already-prepared prefix is unwound and may be
+// resubmitted). Queue-capacity back-pressure behaves as in Submit,
+// applied as the batch is absorbed.
+func (dev *Device) SubmitAll(rs ...*Request) error {
+	for i, r := range rs {
+		if err := dev.prepare(r); err != nil {
+			for _, p := range rs[:i] {
+				p.inner = nil
+				p.done = nil
+			}
+			return err
+		}
+	}
+	inners := make([]*host.Request, len(rs))
+	for i, r := range rs {
+		inners[i] = r.inner
+	}
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.eng.SubmitAll(inners...)
+	return nil
+}
+
+// prepare validates r and builds its host-level request. It runs
+// before the device mutex is taken: CheckRange reads only immutable
+// geometry, and the diagnostic lookup takes one page-table shard's
+// read lock.
+func (dev *Device) prepare(r *Request) error {
 	if r.inner != nil {
 		return fmt.Errorf("envy: Request resubmitted; requests are single-use")
 	}
-	// Outside dev.mu: CheckRange reads only immutable geometry, and the
-	// lookup takes one shard's read lock.
 	if err := dev.d.CheckRange(r.Addr, len(r.Data)); err != nil {
 		return err
 	}
@@ -546,10 +584,6 @@ func (dev *Device) Submit(r *Request) error {
 	}
 	r.inner = inner
 	r.done = done
-
-	dev.mu.Lock()
-	defer dev.mu.Unlock()
-	dev.eng.Submit(inner)
 	return nil
 }
 
@@ -582,6 +616,16 @@ func (dev *Device) Outstanding() int {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
 	return dev.eng.Outstanding()
+}
+
+// EffectiveDepth returns the host queue depth currently admitted by
+// the AIMD controller (the configured depth when AdaptiveDepth is
+// off). A service tier uses Outstanding() >= EffectiveDepth() as the
+// per-device back-pressure signal.
+func (dev *Device) EffectiveDepth() int {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.eng.EffectiveDepth()
 }
 
 // ReadWord reads the 32-bit word at a 4-byte-aligned address and

@@ -260,8 +260,9 @@ func TestMaporder(t *testing.T) {
 
 func TestClaimgraph(t *testing.T) {
 	// Rank violation and cycle assembled from claims' and rlock's facts.
-	runFixtureFacts(t, analysis.Claimgraph, []string{"envy/internal/claims", "envy/internal/maptier", "envy/internal/rlock"}, "envy/internal/lockuser")
+	runFixtureFacts(t, analysis.Claimgraph, []string{"envy/internal/claims", "envy/internal/cluster", "envy/internal/maptier", "envy/internal/rlock"}, "envy/internal/lockuser")
 	runFixture(t, analysis.Claimgraph, "envy/internal/claims")    // A→B alone, no cycle: clean
+	runFixture(t, analysis.Claimgraph, "envy/internal/cluster")   // single router lock, helpers only: clean
 	runFixture(t, analysis.Claimgraph, "envy/internal/maptier")   // single lock, helpers only: clean
 	runFixture(t, analysis.Claimgraph, "envy/internal/pagetable") // same-class sweeps only: clean
 }

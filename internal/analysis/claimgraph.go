@@ -53,16 +53,17 @@ var Claimgraph = &Analyzer{
 // cycle detection until they are assigned a slot here.
 var claimRank = map[string]int{
 	"envy.Device.mu":                    0,
-	"envy/internal/host.Engine.mu":      1,
-	"envy/internal/maptier.Tier.mu":     2,
-	"envy/internal/pagetable.shard.mu":  3,
-	"envy/internal/rlock.Table.shards":  4,
-	"envy/internal/rlock.Table.banks":   5,
-	"envy/internal/rlock.Table.shared":  6,
-	"envy/internal/flash.BankSet.claim": 7,
+	"envy/internal/cluster.Cluster.mu":  1,
+	"envy/internal/host.Engine.mu":      2,
+	"envy/internal/maptier.Tier.mu":     3,
+	"envy/internal/pagetable.shard.mu":  4,
+	"envy/internal/rlock.Table.shards":  5,
+	"envy/internal/rlock.Table.banks":   6,
+	"envy/internal/rlock.Table.shared":  7,
+	"envy/internal/flash.BankSet.claim": 8,
 }
 
-const claimRankDoc = "canonical order: Device.mu → maptier Tier.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims"
+const claimRankDoc = "canonical order: Device.mu → cluster Cluster.mu → host Engine.mu → maptier Tier.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims"
 
 // bankClaimClass is the pseudo-lock class for BankSet claims. Claims
 // are ownership tokens held across suspend/resume, not scoped critical

@@ -60,6 +60,7 @@ var laneSharedTypes = map[string]bool{
 	"envy/internal/cleaner.Selector":        true,
 	"envy/internal/maptier.Tier":            true,
 	"envy/internal/pagetable.DiffDirectory": true,
+	"envy/internal/cluster.Cluster":         true,
 }
 
 // maxLaneEffects caps the effect list carried per function; beyond it

@@ -27,6 +27,7 @@ var Simtime = &Analyzer{
 var simPackages = map[string]bool{
 	"envy/internal/core":        true,
 	"envy/internal/cleaner":     true,
+	"envy/internal/cluster":     true,
 	"envy/internal/flash":       true,
 	"envy/internal/sched":       true,
 	"envy/internal/sram":        true,

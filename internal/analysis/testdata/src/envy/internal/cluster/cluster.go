@@ -1,0 +1,20 @@
+// Package cluster is a claimgraph fixture: a stand-in for the service
+// tier's router mutex, ranked immediately after the device lock in the
+// canonical order. The package itself is clean; the rank violation
+// appears only when another package acquires a lower-ranked lock while
+// holding the router lock.
+package cluster
+
+import "sync"
+
+// Cluster mirrors the real service tier: one mutex over the routing
+// directory and shard counters.
+type Cluster struct {
+	mu sync.Mutex
+}
+
+// LockRouter takes the router lock and holds it for the caller.
+func (c *Cluster) LockRouter() { c.mu.Lock() }
+
+// UnlockRouter gives the router lock back.
+func (c *Cluster) UnlockRouter() { c.mu.Unlock() }

@@ -6,6 +6,7 @@ package lockuser
 
 import (
 	"envy/internal/claims"
+	"envy/internal/cluster"
 	"envy/internal/maptier"
 	"envy/internal/rlock"
 )
@@ -59,4 +60,24 @@ func badTierOrder(mt *maptier.Tier, t *rlock.Table) {
 	mt.LockTier() // want `claimgraph: envy/internal/maptier\.Tier\.mu at maptier\.go:\d+ via envy/internal/maptier\.Tier\.LockTier acquired while envy/internal/rlock\.Table\.shards is held`
 	mt.UnlockTier()
 	t.UnlockShards()
+}
+
+// goodRouterOrder takes the router lock before the mapping tier —
+// descending the canonical ranks, the way the real service tier nests
+// under its members' machinery. Clean.
+func goodRouterOrder(c *cluster.Cluster, mt *maptier.Tier) {
+	c.LockRouter()
+	mt.LockTier()
+	mt.UnlockTier()
+	c.UnlockRouter()
+}
+
+// badRouterOrder acquires the router lock while the mapping-tier lock
+// is held: the router ranks directly under the device lock, above the
+// tier, so this inverts the order.
+func badRouterOrder(c *cluster.Cluster, mt *maptier.Tier) {
+	mt.LockTier()
+	c.LockRouter() // want `claimgraph: envy/internal/cluster\.Cluster\.mu at cluster\.go:\d+ via envy/internal/cluster\.Cluster\.LockRouter acquired while envy/internal/maptier\.Tier\.mu is held`
+	c.UnlockRouter()
+	mt.UnlockTier()
 }

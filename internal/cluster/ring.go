@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement selects how the flat logical-page namespace is split
+// across members.
+type Placement int
+
+const (
+	// HashRing places pages by consistent hashing over a fixed ring of
+	// virtual nodes: each member owns Config.VirtualNodes points on a
+	// 64-bit ring, and a page belongs to the member owning the first
+	// point at or after the page's hash. Placement is stable in the
+	// page number (not in load), spreads any workload skew across
+	// members, and — because the ring is fixed at construction — keeps
+	// the directory immutable for the cluster's lifetime.
+	HashRing Placement = iota
+
+	// RangeSplit places pages by contiguous range: member i owns pages
+	// [i·P/N, (i+1)·P/N). Sequential scans stay on one member (good
+	// locality, poor balance under skew) — the classic alternative the
+	// experiments compare against.
+	RangeSplit
+)
+
+func (p Placement) String() string {
+	switch p {
+	case HashRing:
+		return "hashring"
+	case RangeSplit:
+		return "rangesplit"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// A route is one directory entry: which member owns the page and the
+// page's local slot on that member.
+type route struct {
+	member uint16
+	local  uint32
+}
+
+// mix64 is the splitmix64 finalizer — the ring's hash function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash   uint64
+	member uint16
+}
+
+// buildDirectory computes the page→(member, local slot) directory for
+// the whole namespace. Local slots are assigned per member in page
+// order, so the directory (and therefore every cluster run) is a pure
+// function of the configuration. perMember returns how many pages
+// landed on each member.
+func buildDirectory(members, totalPages int, placement Placement, vnodes int, seed uint64) (dir []route, perMember []int, err error) {
+	dir = make([]route, totalPages)
+	perMember = make([]int, members)
+
+	var owner func(page int) int
+	switch placement {
+	case RangeSplit:
+		owner = func(page int) int {
+			return page * members / totalPages
+		}
+	case HashRing:
+		ring := make([]ringPoint, 0, members*vnodes)
+		for m := 0; m < members; m++ {
+			for v := 0; v < vnodes; v++ {
+				h := mix64(seed ^ mix64(uint64(m)<<32|uint64(v)))
+				ring = append(ring, ringPoint{hash: h, member: uint16(m)})
+			}
+		}
+		sort.Slice(ring, func(i, j int) bool {
+			if ring[i].hash != ring[j].hash {
+				return ring[i].hash < ring[j].hash
+			}
+			return ring[i].member < ring[j].member
+		})
+		owner = func(page int) int {
+			h := mix64(seed ^ uint64(page))
+			i := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+			if i == len(ring) {
+				i = 0 // wrap past the highest point
+			}
+			return int(ring[i].member)
+		}
+	default:
+		return nil, nil, fmt.Errorf("cluster: unknown placement %v", placement)
+	}
+
+	for page := 0; page < totalPages; page++ {
+		m := owner(page)
+		dir[page] = route{member: uint16(m), local: uint32(perMember[m])}
+		perMember[m]++
+	}
+	return dir, perMember, nil
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"time"
+
+	"envy"
+)
+
+// ShardStats is one member's view in the aggregate stats plane:
+// routing-tier counters plus the member's own device snapshot.
+type ShardStats struct {
+	// Down reports whether the member is currently crash-excluded.
+	Down bool
+
+	// Pages is how many namespace pages the placement routed here.
+	Pages int
+
+	// Routing-tier counters. Submitted counts requests accepted for
+	// this member (down-shard rejections included); Completed all
+	// completions; Acked error-free completions; Failed device-error
+	// completions (crash failures included); Rejected down-shard fast
+	// failures; Backpressured submissions that arrived with the member
+	// at or over its AIMD effective depth; Crashes and Rejoins the §9
+	// lifecycle transitions the tier observed.
+	Submitted     int64
+	Completed     int64
+	Acked         int64
+	Failed        int64
+	Rejected      int64
+	Backpressured int64
+	Crashes       int64
+	Rejoins       int64
+
+	// Queue gauges at snapshot time.
+	Outstanding    int
+	EffectiveDepth int
+
+	// Clock is the member's simulated elapsed time.
+	Clock time.Duration
+
+	// Device is the member's full measurement snapshot.
+	Device envy.Stats
+}
+
+// Stats is the cluster-wide snapshot: per-shard detail plus
+// aggregates merged across members.
+type Stats struct {
+	Members int
+	Pages   int
+	Shards  []ShardStats
+
+	// Aggregated routing-tier counters (sums over Shards).
+	Submitted     int64
+	Completed     int64
+	Acked         int64
+	Failed        int64
+	Rejected      int64
+	Backpressured int64
+
+	// Aggregated device counters.
+	Reads, Writes int64
+	Flushes       int64
+	SegmentCleans int64
+	Erases        int64
+
+	// Cluster-observed sojourn latency over all acknowledged
+	// requests, merged across members.
+	P50, P95, P99, Max time.Duration
+
+	// Clock is the most advanced member clock.
+	Clock time.Duration
+}
+
+// Stats returns the cluster snapshot. Member devices are snapshotted
+// first (each under its own lock), then merged with the routing-tier
+// counters under the cluster mutex — never the other way around (lock
+// order: Device.mu before Cluster.mu).
+func (c *Cluster) Stats() Stats {
+	devs := make([]envy.Stats, len(c.members))
+	outs := make([]int, len(c.members))
+	depths := make([]int, len(c.members))
+	clocks := make([]time.Duration, len(c.members))
+	for i, m := range c.members {
+		devs[i] = m.Stats()
+		outs[i] = m.Outstanding()
+		depths[i] = m.EffectiveDepth()
+		clocks[i] = m.Now()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Members: len(c.members),
+		Pages:   len(c.dir),
+		Shards:  make([]ShardStats, len(c.members)),
+		P50:     time.Duration(c.lat.Percentile(50)),
+		P95:     time.Duration(c.lat.Percentile(95)),
+		P99:     time.Duration(c.lat.Percentile(99)),
+		Max:     time.Duration(c.lat.Max()),
+	}
+	for i := range c.members {
+		s := c.shards[i]
+		st.Shards[i] = ShardStats{
+			Down:           s.down,
+			Pages:          s.pages,
+			Submitted:      s.submitted,
+			Completed:      s.completed,
+			Acked:          s.acked,
+			Failed:         s.failed,
+			Rejected:       s.rejected,
+			Backpressured:  s.backpressured,
+			Crashes:        s.crashes,
+			Rejoins:        s.rejoins,
+			Outstanding:    outs[i],
+			EffectiveDepth: depths[i],
+			Clock:          clocks[i],
+			Device:         devs[i],
+		}
+		st.Submitted += s.submitted
+		st.Completed += s.completed
+		st.Acked += s.acked
+		st.Failed += s.failed
+		st.Rejected += s.rejected
+		st.Backpressured += s.backpressured
+		st.Reads += devs[i].Reads
+		st.Writes += devs[i].Writes
+		st.Flushes += devs[i].Flushes
+		st.SegmentCleans += devs[i].SegmentCleans
+		st.Erases += devs[i].Erases
+		if clocks[i] > st.Clock {
+			st.Clock = clocks[i]
+		}
+	}
+	return st
+}
+
+// ResetStats zeroes the routing-tier counters, the cluster latency
+// histogram, and every member's measurements (typically after
+// warm-up). Down markers, crash/rejoin counts, and page placement
+// survive the reset.
+func (c *Cluster) ResetStats() {
+	for _, m := range c.members {
+		m.ResetStats()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.submitted, s.completed, s.acked, s.failed = 0, 0, 0, 0
+		s.rejected, s.backpressured = 0, 0
+	}
+	c.lat.Reset()
+}

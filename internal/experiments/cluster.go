@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy"
+	"envy/internal/cluster"
+	"envy/internal/sim"
+	"envy/internal/workload"
+)
+
+// ClusterResult is the service-tier study: aggregate saturated
+// throughput as the member count scales, sensitivity to workload skew,
+// and the §9 crash-and-rejoin timeline through the router.
+type ClusterResult struct {
+	// Scaling rows: aggregate saturated TPS on the same YCSB-A mix
+	// over the same dataset at N members.
+	Scaling []ClusterScalePoint
+
+	// Theta rows: N=4 aggregate TPS across Zipfian skews.
+	Theta []ClusterThetaPoint
+
+	// Crash is the mid-load crash/recover run at N=4.
+	Crash cluster.LoadResult
+}
+
+// ClusterScalePoint is one member-count measurement.
+type ClusterScalePoint struct {
+	Members       int
+	TPS           float64
+	Speedup       float64 // vs the single-member row
+	P50, P99      sim.Duration
+	Backpressured int64
+}
+
+// ClusterThetaPoint is one skew measurement.
+type ClusterThetaPoint struct {
+	Theta    float64
+	TPS      float64
+	P50, P99 sim.Duration
+}
+
+// ClusterMembers is the scaling sweep.
+var ClusterMembers = []int{1, 2, 4, 8}
+
+// ClusterThetas is the skew sweep (at 4 members).
+var ClusterThetas = []float64{0.5, 0.9, 0.99}
+
+// clusterPages keeps the dataset identical across member counts: the
+// namespace and the workload's footprint fit a single member, so the
+// N=1 row is a fair baseline.
+const (
+	clusterPages    = 16384
+	clusterHotPages = 8192
+)
+
+// clusterRate is the offered arrival rate for the saturation runs:
+// far above what even eight members absorb, so measured TPS is
+// device-bound at every point rather than arrival-bound.
+const clusterRate = 1e8
+
+// clusterMember is the per-device profile for the study: the
+// concurrent host path (parallel flushing, 8-deep adaptive queue)
+// with a modest write buffer so flush programs — and therefore crash
+// points — flow throughout the run.
+func clusterMember() envy.Config {
+	mc := cluster.DefaultMemberConfig()
+	mc.BufferPages = 512
+	return mc
+}
+
+// clusterSaturated drives members at a saturating offered rate on a
+// YCSB-A Zipfian mix and returns the run plus the warm-free aggregate.
+func clusterSaturated(members int, theta float64, seed uint64) (cluster.LoadResult, error) {
+	c, err := cluster.New(cluster.Config{
+		Members:    members,
+		Member:     clusterMember(),
+		TotalPages: clusterPages,
+		Seed:       seed,
+	})
+	if err != nil {
+		return cluster.LoadResult{}, err
+	}
+	warm, err := workload.YCSB("a", clusterHotPages, theta, seed+1)
+	if err != nil {
+		return cluster.LoadResult{}, err
+	}
+	// Warm: populate the namespace and push members into steady state,
+	// then zero the measurement plane.
+	if _, err := cluster.RunLoad(c, cluster.Load{
+		Gen: warm, Rate: clusterRate, Ops: 20_000, Seed: seed + 2,
+	}); err != nil {
+		return cluster.LoadResult{}, err
+	}
+	c.ResetStats()
+	gen, err := workload.YCSB("a", clusterHotPages, theta, seed+3)
+	if err != nil {
+		return cluster.LoadResult{}, err
+	}
+	res, err := cluster.RunLoad(c, cluster.Load{
+		Gen: gen, Rate: clusterRate, Ops: 40_000, Seed: seed + 4, Check: true,
+	})
+	if err != nil {
+		return cluster.LoadResult{}, err
+	}
+	return res, nil
+}
+
+// Cluster runs the service-tier study. It errors (rather than
+// reporting) if a run loses an acknowledged write or the 4-member
+// aggregate fails to clear 3x the single member — those are
+// acceptance gates, and every run here is deterministic.
+func Cluster(sc Scale) (ClusterResult, error) {
+	var res ClusterResult
+	for _, n := range ClusterMembers {
+		r, err := clusterSaturated(n, 0.9, sc.Seed)
+		if err != nil {
+			return res, fmt.Errorf("cluster scale n=%d: %w", n, err)
+		}
+		pt := ClusterScalePoint{
+			Members: n, TPS: r.TPS,
+			P50: sim.Duration(r.P50), P99: sim.Duration(r.P99),
+			Backpressured: r.Backpressured,
+		}
+		if len(res.Scaling) > 0 {
+			pt.Speedup = r.TPS / res.Scaling[0].TPS
+		} else {
+			pt.Speedup = 1
+		}
+		res.Scaling = append(res.Scaling, pt)
+	}
+	if s4 := res.Scaling[2]; s4.Speedup < 3 {
+		return res, fmt.Errorf("cluster: 4-member aggregate %.0f TPS is only %.2fx the single member (gate: 3x)",
+			s4.TPS, s4.Speedup)
+	}
+
+	for _, theta := range ClusterThetas {
+		r, err := clusterSaturated(4, theta, sc.Seed+10)
+		if err != nil {
+			return res, fmt.Errorf("cluster theta=%.2f: %w", theta, err)
+		}
+		res.Theta = append(res.Theta, ClusterThetaPoint{
+			Theta: theta, TPS: r.TPS,
+			P50: sim.Duration(r.P50), P99: sim.Duration(r.P99),
+		})
+	}
+
+	// Crash-and-rejoin timeline: moderate load at N=4, one member
+	// armed mid-load, recovered while traffic continues, full
+	// verification after the drain.
+	c, err := cluster.New(cluster.Config{
+		Members: 4, Member: clusterMember(), TotalPages: clusterPages, Seed: sc.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	gen, err := workload.YCSB("a", clusterHotPages, 0.9, sc.Seed+20)
+	if err != nil {
+		return res, err
+	}
+	res.Crash, err = cluster.RunLoad(c, cluster.Load{
+		Gen: gen, Rate: 200_000, Ops: 40_000, Seed: sc.Seed + 21,
+		CrashShard: 2, CrashAtOp: 16_000, RecoverAtOp: 28_000,
+		Verify: true, Check: true,
+	})
+	if err != nil {
+		return res, fmt.Errorf("cluster crash run: %w", err)
+	}
+	if res.Crash.LostAcked != 0 {
+		return res, fmt.Errorf("cluster: %d acknowledged writes lost across the crash (gate: 0)", res.Crash.LostAcked)
+	}
+	if res.Crash.RejoinedAt == 0 {
+		return res, fmt.Errorf("cluster: crashed member never rejoined")
+	}
+	return res, nil
+}
+
+// ClusterTable formats the service-tier study.
+func ClusterTable(r ClusterResult) Table {
+	t := Table{
+		Title: "cluster service tier: sharded members behind one namespace",
+		Note: fmt.Sprintf("saturating YCSB-A over %d Zipfian pages, hash-ring placement over %d-page namespace; "+
+			"same dataset at every member count", clusterHotPages, clusterPages),
+		Header: []string{"members", "aggregate TPS", "speedup", "p50", "p99", "backpressured"},
+	}
+	for _, p := range r.Scaling {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Members), f0(p.TPS), f2(p.Speedup) + "x",
+			ns(p.P50), ns(p.P99), fmt.Sprintf("%d", p.Backpressured),
+		})
+	}
+	for _, p := range r.Theta {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("4 @ θ=%.2f", p.Theta), f0(p.TPS), "", ns(p.P50), ns(p.P99), "",
+		})
+	}
+	cr := r.Crash
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("4 +crash@%d", cr.CrashShard), f0(cr.TPS),
+		fmt.Sprintf("lost %d", cr.LostAcked),
+		fmt.Sprintf("detect %s", ms(sim.Duration(cr.CrashDetectedAt-cr.CrashArmedAt))),
+		fmt.Sprintf("rejoin %s", ms(sim.Duration(cr.RejoinedAt))),
+		fmt.Sprintf("drain %s", ms(sim.Duration(cr.DrainTime))),
+	})
+	return t
+}
+
+// ClusterMetrics flattens the study for BENCH_results.json.
+func ClusterMetrics(r ClusterResult) map[string]float64 {
+	m := make(map[string]float64)
+	for _, p := range r.Scaling {
+		m[fmt.Sprintf("tps_n%d", p.Members)] = p.TPS
+		m[fmt.Sprintf("speedup_n%d", p.Members)] = p.Speedup
+	}
+	for _, p := range r.Theta {
+		m[fmt.Sprintf("theta%02.0f_tps", p.Theta*100)] = p.TPS
+	}
+	cr := r.Crash
+	m["crash_detect_ms"] = float64(cr.CrashDetectedAt-cr.CrashArmedAt) / 1e6
+	m["crash_rejoin_ms"] = float64(cr.RejoinedAt) / 1e6
+	m["crash_drain_ms"] = float64(cr.DrainTime) / 1e6
+	m["crash_failed"] = float64(cr.Failed)
+	m["crash_rejected"] = float64(cr.Rejected)
+	m["crash_lost_acked"] = float64(cr.LostAcked)
+	m["crash_verified_writes"] = float64(cr.VerifiedWrites)
+	return m
+}

@@ -141,3 +141,4 @@ func ns(d sim.Duration) string {
 	}
 	return fmt.Sprintf("%dns", int64(d))
 }
+func ms(d sim.Duration) string { return fmt.Sprintf("%.2fms", float64(d)/1e6) }

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"envy/internal/sim"
+)
+
+// An Op is one request in a read/write mix: which logical page to
+// touch and whether to write it.
+type Op struct {
+	Write bool
+	Page  uint32
+}
+
+// OpGenerator produces a deterministic stream of read/write operations.
+// It is the cluster-driver analogue of Generator (which emits writes
+// only, for the cleaning-policy studies).
+type OpGenerator interface {
+	// NextOp returns the next operation; Page is in [0, Pages()).
+	NextOp() Op
+	// Pages returns the size of the page space being touched.
+	Pages() int
+	// String describes the workload for reports.
+	String() string
+}
+
+// Mix wraps a page Generator with a read fraction: each operation is a
+// read with probability readFrac, and the page comes from the wrapped
+// generator either way. The read/write coin and the page stream draw
+// from separate seeded PRNGs so the page sequence is identical across
+// read fractions.
+type Mix struct {
+	readFrac float64
+	pages    Generator
+	rng      *sim.RNG
+	label    string
+}
+
+// NewMix returns an operation mix over g with the given read fraction
+// in [0, 1].
+func NewMix(g Generator, readFrac float64, seed uint64) *Mix {
+	if readFrac < 0 || readFrac > 1 {
+		panic("workload: read fraction must be in [0, 1]")
+	}
+	return &Mix{readFrac: readFrac, pages: g, rng: sim.NewRNG(seed)}
+}
+
+// YCSB returns the standard YCSB core-workload mixes over a Zipfian
+// page distribution: class "a" is 50/50 read/update, "b" is 95/5, and
+// "c" is read-only. theta is the Zipfian skew (YCSB's default is 0.99).
+func YCSB(class string, pages int, theta float64, seed uint64) (*Mix, error) {
+	var readFrac float64
+	switch class {
+	case "a":
+		readFrac = 0.50
+	case "b":
+		readFrac = 0.95
+	case "c":
+		readFrac = 1.0
+	default:
+		return nil, fmt.Errorf("workload: unknown YCSB class %q (want a, b, or c)", class)
+	}
+	m := NewMix(NewZipfian(pages, theta, seed), readFrac, seed+0x9e3779b97f4a7c15)
+	m.label = fmt.Sprintf("ycsb-%s θ=%.2f over %d pages", class, theta, pages)
+	return m, nil
+}
+
+// NextOp returns the next operation.
+func (m *Mix) NextOp() Op {
+	return Op{Write: m.rng.Float64() >= m.readFrac, Page: m.pages.Next()}
+}
+
+// Pages returns the page-space size.
+func (m *Mix) Pages() int { return m.pages.Pages() }
+
+func (m *Mix) String() string {
+	if m.label != "" {
+		return m.label
+	}
+	return fmt.Sprintf("%.0f%% reads over %v", m.readFrac*100, m.pages)
+}
+
+// A Schedule shapes offered load over simulated time: RateScale returns
+// the multiplier to apply to the base arrival rate at time t. A nil
+// Schedule means constant load (scale 1).
+type Schedule interface {
+	// RateScale returns the load multiplier at time t, >= 0.
+	RateScale(t sim.Time) float64
+	// String describes the schedule for reports.
+	String() string
+}
+
+// Diurnal is a day/night load curve: a raised cosine between Trough and
+// Peak with the given Period, plus an optional square burst of Burst×
+// for the first BurstLen of every period (the morning rush).
+type Diurnal struct {
+	Period   sim.Duration // one full day; must be > 0
+	Trough   float64      // minimum rate scale, at t = Period/2
+	Peak     float64      // maximum rate scale, at t = 0
+	Burst    float64      // extra multiplier during the burst window (0 = none)
+	BurstLen sim.Duration // burst window length from the start of each period
+}
+
+// RateScale returns the diurnal multiplier at time t.
+func (d *Diurnal) RateScale(t sim.Time) float64 {
+	if d.Period <= 0 {
+		return 1
+	}
+	phase := float64(int64(t)%int64(d.Period)) / float64(d.Period)
+	scale := d.Trough + (d.Peak-d.Trough)*(1+math.Cos(2*math.Pi*phase))/2
+	if d.Burst > 0 && sim.Duration(int64(t)%int64(d.Period)) < d.BurstLen {
+		scale *= d.Burst
+	}
+	return scale
+}
+
+func (d *Diurnal) String() string {
+	s := fmt.Sprintf("diurnal %.1f..%.1f× period %v", d.Trough, d.Peak, d.Period)
+	if d.Burst > 0 {
+		s += fmt.Sprintf(" burst %.1f× for %v", d.Burst, d.BurstLen)
+	}
+	return s
+}
+
+// OpTrace is a recorded operation sequence that replays
+// deterministically, cycling at the end — the request-log analogue of
+// Trace.
+type OpTrace struct {
+	pages int
+	ops   []Op
+	pos   int
+}
+
+// RecordOps captures n operations from g into a replayable trace.
+func RecordOps(g OpGenerator, n int) *OpTrace {
+	t := &OpTrace{pages: g.Pages(), ops: make([]Op, n)}
+	for i := range t.ops {
+		t.ops[i] = g.NextOp()
+	}
+	return t
+}
+
+// NextOp returns the next traced operation, cycling at the end.
+func (t *OpTrace) NextOp() Op {
+	if len(t.ops) == 0 {
+		return Op{}
+	}
+	op := t.ops[t.pos]
+	t.pos++
+	if t.pos == len(t.ops) {
+		t.pos = 0
+	}
+	return op
+}
+
+// Pages returns the page-space size.
+func (t *OpTrace) Pages() int { return t.pages }
+
+// Len returns the number of recorded operations.
+func (t *OpTrace) Len() int { return len(t.ops) }
+
+func (t *OpTrace) String() string {
+	return fmt.Sprintf("trace of %d ops over %d pages", len(t.ops), t.pages)
+}

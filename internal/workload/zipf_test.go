@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// chiSquareZipf draws n samples and computes the chi-square statistic
+// against the exact Zipf pmf p(k) = (1/(k+1)^theta) / zeta(pages, theta).
+func chiSquareZipf(t *testing.T, pages int, theta float64, draws int, seed uint64) float64 {
+	t.Helper()
+	z := NewZipfian(pages, theta, seed)
+	counts := make([]int, pages)
+	for i := 0; i < draws; i++ {
+		p := z.Next()
+		if int(p) >= pages {
+			t.Fatalf("draw %d out of range: %d >= %d", i, p, pages)
+		}
+		counts[p]++
+	}
+	zn := zeta(pages, theta)
+	var chi2 float64
+	for k := 0; k < pages; k++ {
+		expect := float64(draws) / math.Pow(float64(k+1), theta) / zn
+		if expect < 5 {
+			t.Fatalf("expected count for rank %d is %.2f < 5; enlarge draws", k, expect)
+		}
+		d := float64(counts[k]) - expect
+		chi2 += d * d / expect
+	}
+	return chi2
+}
+
+// TestZipfianChiSquare is the satellite goodness-of-fit test: the
+// sampled frequencies at θ = 0.5 and θ = 0.99 must match the exact
+// Zipf pmf. 50 bins ⇒ 49 degrees of freedom; the χ² critical value at
+// significance 0.001 is 85.35, and the test is deterministic (fixed
+// seeds), so it never flakes — it fails only if the sampler drifts.
+func TestZipfianChiSquare(t *testing.T) {
+	const (
+		pages    = 50
+		draws    = 200000
+		critical = 85.35 // χ²(df=49, α=0.001)
+	)
+	for _, tc := range []struct {
+		theta float64
+		seed  uint64
+	}{
+		{0.5, 11},
+		{0.99, 12},
+	} {
+		chi2 := chiSquareZipf(t, pages, tc.theta, draws, tc.seed)
+		if chi2 > critical {
+			t.Errorf("θ=%.2f: χ² = %.2f > %.2f (df=49, α=0.001)", tc.theta, chi2, critical)
+		}
+		t.Logf("θ=%.2f: χ² = %.2f (critical %.2f)", tc.theta, chi2, critical)
+	}
+}
+
+// TestZipfianSkewOrdering sanity-checks the shape: higher θ
+// concentrates more mass on the hottest ranks, and θ=0 is uniform.
+func TestZipfianSkewOrdering(t *testing.T) {
+	const pages, draws = 1000, 100000
+	top10 := func(theta float64) float64 {
+		z := NewZipfian(pages, theta, 7)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() < pages/10 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	u, mid, hi := top10(0), top10(0.5), top10(0.99)
+	if math.Abs(u-0.1) > 0.01 {
+		t.Errorf("θ=0 top-decile mass = %.3f, want ≈0.10", u)
+	}
+	if !(u < mid && mid < hi) {
+		t.Errorf("top-decile mass not increasing in θ: %.3f, %.3f, %.3f", u, mid, hi)
+	}
+}
+
+// TestZipfianDeterminism: same seed ⇒ identical streams; different
+// seed ⇒ different streams.
+func TestZipfianDeterminism(t *testing.T) {
+	a := NewZipfian(4096, 0.99, 42)
+	b := NewZipfian(4096, 0.99, 42)
+	c := NewZipfian(4096, 0.99, 43)
+	same, diff := true, false
+	for i := 0; i < 10000; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different streams")
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestMixDeterminism: two YCSB mixes with the same seed emit identical
+// operation streams, and the read fraction lands near the class target.
+func TestMixDeterminism(t *testing.T) {
+	for _, class := range []string{"a", "b", "c"} {
+		a, err := YCSB(class, 4096, 0.99, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := YCSB(class, 4096, 0.99, 99)
+		reads := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			oa, ob := a.NextOp(), b.NextOp()
+			if oa != ob {
+				t.Fatalf("class %s: op %d diverged: %+v vs %+v", class, i, oa, ob)
+			}
+			if !oa.Write {
+				reads++
+			}
+		}
+		want := map[string]float64{"a": 0.50, "b": 0.95, "c": 1.0}[class]
+		if got := float64(reads) / n; math.Abs(got-want) > 0.01 {
+			t.Errorf("class %s: read fraction = %.3f, want ≈%.2f", class, got, want)
+		}
+	}
+	if _, err := YCSB("z", 16, 0.5, 1); err == nil {
+		t.Error("unknown YCSB class accepted")
+	}
+}
+
+// TestOpTraceReplay: a recorded trace replays the exact stream it
+// captured and cycles at the end.
+func TestOpTraceReplay(t *testing.T) {
+	src, err := YCSB("a", 256, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := YCSB("a", 256, 0.9, 5)
+	tr := RecordOps(src, 1000)
+	if tr.Len() != 1000 || tr.Pages() != 256 {
+		t.Fatalf("trace shape: len %d pages %d", tr.Len(), tr.Pages())
+	}
+	for i := 0; i < 2500; i++ {
+		got := tr.NextOp()
+		if i < 1000 {
+			if want := ref.NextOp(); got != want {
+				t.Fatalf("op %d: got %+v want %+v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestDiurnalSchedule pins the curve's anchor points: peak at t=0 (with
+// burst), trough at half period, and periodicity.
+func TestDiurnalSchedule(t *testing.T) {
+	d := &Diurnal{Period: 1000, Trough: 0.2, Peak: 2.0, Burst: 3.0, BurstLen: 100}
+	if got := d.RateScale(0); math.Abs(got-6.0) > 1e-9 {
+		t.Errorf("t=0 scale = %v, want 6.0 (peak × burst)", got)
+	}
+	if got := d.RateScale(500); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("t=Period/2 scale = %v, want trough 0.2", got)
+	}
+	if a, b := d.RateScale(250), d.RateScale(1250); math.Abs(a-b) > 1e-9 {
+		t.Errorf("not periodic: %v vs %v", a, b)
+	}
+	var z Diurnal
+	if got := z.RateScale(123); got != 1 {
+		t.Errorf("zero-period schedule scale = %v, want 1", got)
+	}
+}
