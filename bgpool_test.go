@@ -1,0 +1,307 @@
+// Background worker-pool determinism and coverage tests
+// (Config.BGWorkers): the pool moves payload bytes on real OS threads,
+// so these tests pin that the simulated timeline AND the stored bytes
+// are bit-identical to the serial path at every worker count, that the
+// map-tier and diff-policy background operations suspend and resume
+// correctly over the pool, and that a crash armed while the pool is
+// active recovers cleanly.
+package envy_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"envy"
+	"envy/internal/invariant"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// TestGoldenBGWorkers replays the pinned hybrid golden scenario with
+// the worker pool on: every worker count must reproduce the serial
+// fixture bit-identically (the fixtures were captured at BGWorkers=0).
+func TestGoldenBGWorkers(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		cfg := goldenConfig(envy.HybridPolicy)
+		cfg.BGWorkers = workers
+		goldenCompare(t, "hybrid", goldenScenario(t, cfg, 0x5eed1, 6000))
+	}
+}
+
+// fnv1aBytes folds a byte slice into a running FNV-1a hash.
+func fnv1aBytes(h uint64, p []byte) uint64 {
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// bgpoolRun drives a flush-heavy seeded workload at the given worker
+// count and returns the measurement snapshot, a hash of the entire
+// logical contents, and the final stats. ParallelFlush is raised to the
+// bank count so multi-lane background windows actually form.
+func bgpoolRun(t *testing.T, workers int) (goldenSnapshot, uint64, envy.Stats) {
+	t.Helper()
+	cfg := goldenConfig(envy.HybridPolicy)
+	cfg.ParallelFlush = 8
+	cfg.BGWorkers = workers
+	dev, err := envy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	rng := sim.NewRNG(0xb60b)
+	words := uint64(dev.Size()) / 4
+	var latHash uint64
+	for i := 0; i < 8000; i++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			lat, err := dev.WriteWordErr(rng.Uint64n(words)*4, uint32(rng.Uint64()))
+			if err != nil {
+				t.Fatalf("op %d: write: %v", i, err)
+			}
+			latHash = fnv1a(latHash, uint64(lat))
+		case r < 8:
+			_, lat, err := dev.ReadWordErr(rng.Uint64n(words) * 4)
+			if err != nil {
+				t.Fatalf("op %d: read: %v", i, err)
+			}
+			latHash = fnv1a(latHash, uint64(lat))
+		default:
+			dev.Idle(time.Duration(1+rng.Intn(10)) * time.Microsecond)
+		}
+	}
+	dev.Idle(2 * time.Millisecond)
+	if err := dev.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	var content uint64
+	buf := make([]byte, 4096)
+	for addr := int64(0); addr < dev.Size(); addr += int64(len(buf)) {
+		chunk := buf
+		if rem := dev.Size() - addr; rem < int64(len(chunk)) {
+			chunk = chunk[:rem]
+		}
+		if _, err := dev.ReadErr(chunk, uint64(addr)); err != nil {
+			t.Fatalf("readback at %d: %v", addr, err)
+		}
+		content = fnv1aBytes(content, chunk)
+	}
+	return snapshot(dev, latHash), content, dev.Stats()
+}
+
+// TestBGPoolBitIdentical pins the tentpole determinism claim: timeline
+// snapshot and full device contents are identical across the serial
+// path and every pooled worker count — and the pool really did move the
+// bytes (BGPoolJobs > 0), so the identity is not vacuous.
+func TestBGPoolBitIdentical(t *testing.T) {
+	serialSnap, serialContent, serialStats := bgpoolRun(t, 0)
+	if serialStats.BGPoolWorkers != 0 || serialStats.BGPoolJobs != 0 {
+		t.Fatalf("serial run reports pool activity: %d workers, %d jobs", serialStats.BGPoolWorkers, serialStats.BGPoolJobs)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		snap, content, st := bgpoolRun(t, workers)
+		if snap != serialSnap {
+			t.Errorf("workers=%d: timeline diverged from serial path:\n got %+v\nwant %+v", workers, snap, serialSnap)
+		}
+		if content != serialContent {
+			t.Errorf("workers=%d: device contents diverged from serial path (%#x vs %#x)", workers, content, serialContent)
+		}
+		if st.BGPoolJobs == 0 {
+			t.Errorf("workers=%d: pool ran zero payload jobs; the parallel path was never exercised", workers)
+		}
+		if st.BGPoolBytes == 0 {
+			t.Errorf("workers=%d: pool moved zero bytes", workers)
+		}
+		if want := min(workers, 8); st.BGPoolWorkers != want {
+			t.Errorf("workers=%d: stats report %d workers, want %d", workers, st.BGPoolWorkers, want)
+		}
+	}
+}
+
+// bgpoolOpsConfig is a small geometry that keeps both the map tier and
+// the diff policy busy enough for their background operations to be
+// preempted by host traffic (suspend/resume coverage).
+func bgpoolOpsConfig() envy.Config {
+	return envy.Config{
+		PageSize:        256,
+		PagesPerSegment: 64,
+		Segments:        32,
+		Banks:           8,
+		Policy:          envy.HybridPolicy,
+		WearThreshold:   8,
+		BufferPages:     64,
+		ParallelFlush:   4,
+		BGWorkers:       4,
+	}
+}
+
+// driveOps runs a uniform seeded write/read/idle mix on dev.
+func driveOps(t *testing.T, dev *envy.Device, seed uint64, ops int) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	words := uint64(dev.Size()) / 4
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			if _, err := dev.WriteWordErr(rng.Uint64n(words)*4, uint32(rng.Uint64())); err != nil {
+				t.Fatalf("op %d: write: %v", i, err)
+			}
+		case r < 8:
+			if _, _, err := dev.ReadWordErr(rng.Uint64n(words) * 4); err != nil {
+				t.Fatalf("op %d: read: %v", i, err)
+			}
+		default:
+			dev.Idle(time.Duration(1+rng.Intn(10)) * time.Microsecond)
+		}
+	}
+}
+
+// TestBGPoolMapTierOps pins preempt/suspend/resume of the map-tier
+// background operations (mapping-page writebacks and translation-
+// segment cleaning) while the worker pool carries the data path's
+// payload jobs, and that the run matches its serial twin bit-for-bit.
+func TestBGPoolMapTierOps(t *testing.T) {
+	run := func(workers int) envy.Stats {
+		cfg := bgpoolOpsConfig()
+		cfg.BGWorkers = workers
+		cfg.MapTier = &envy.MapTierConfig{CacheFrames: 8}
+		dev, err := envy.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		driveOps(t, dev, 0x3a97, 12000)
+		dev.Idle(2 * time.Millisecond)
+		if err := invariant.CheckDevice(dev.Core()); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats()
+	}
+	pooled := run(4)
+	if pooled.MapFlushOps.Completed == 0 {
+		t.Fatal("no mapping-page writebacks ran; the map tier was idle")
+	}
+	if pooled.MapFlushOps.Suspensions == 0 || pooled.MapFlushOps.Resumes == 0 {
+		t.Errorf("map-tier flush ops were never preempted and resumed (suspensions %d, resumes %d)",
+			pooled.MapFlushOps.Suspensions, pooled.MapFlushOps.Resumes)
+	}
+	if pooled.BGPoolJobs == 0 {
+		t.Error("worker pool ran zero jobs under the map tier")
+	}
+	serial := run(0)
+	if pooled.MapFlushOps != serial.MapFlushOps || pooled.MapCleanOps != serial.MapCleanOps ||
+		pooled.MapEraseOps != serial.MapEraseOps || pooled.FlushOps != serial.FlushOps {
+		t.Errorf("map-tier op lifecycles diverged between pooled and serial runs:\npooled %+v\nserial %+v",
+			pooled.MapFlushOps, serial.MapFlushOps)
+	}
+}
+
+// TestBGPoolDiffOps pins the same for the differential flush policy:
+// shared diff-unit programs ride the scheduler over the pool, suspend
+// and resume under host traffic, and match the serial twin.
+func TestBGPoolDiffOps(t *testing.T) {
+	run := func(workers int) (envy.Stats, stats.OpCounters) {
+		cfg := bgpoolOpsConfig()
+		cfg.BGWorkers = workers
+		cfg.FlushPolicy = envy.DiffFlush
+		dev, err := envy.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		driveOps(t, dev, 0xd1ff, 12000)
+		dev.Idle(2 * time.Millisecond)
+		if err := invariant.CheckDevice(dev.Core()); err != nil {
+			t.Fatal(err)
+		}
+		ops := dev.Core().OpStats()
+		return dev.Stats(), ops.Get(stats.OpDiffFlush)
+	}
+	pooled, diffOps := run(4)
+	if pooled.DiffUnitPrograms == 0 {
+		t.Fatal("no diff units programmed; the diff policy was idle")
+	}
+	if diffOps.Completed == 0 {
+		t.Fatal("no diff-flush operations completed on the scheduler")
+	}
+	if diffOps.Suspensions == 0 || diffOps.Resumes == 0 {
+		t.Errorf("diff-flush ops were never preempted and resumed (suspensions %d, resumes %d)",
+			diffOps.Suspensions, diffOps.Resumes)
+	}
+	serial, serialDiffOps := run(0)
+	if diffOps != serialDiffOps || pooled.DiffUnitPrograms != serial.DiffUnitPrograms ||
+		pooled.DiffRecordsWritten != serial.DiffRecordsWritten {
+		t.Errorf("diff op lifecycles diverged between pooled and serial runs:\npooled %+v\nserial %+v",
+			diffOps, serialDiffOps)
+	}
+}
+
+// TestBGPoolCrashMidResume arms a crash while pooled background
+// operations are suspended mid-flight behind host traffic, lets it fire
+// as they resume, and requires full recovery: no acknowledged write
+// lost, invariants intact.
+func TestBGPoolCrashMidResume(t *testing.T) {
+	cfg := bgpoolOpsConfig()
+	dev, err := envy.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	rng := sim.NewRNG(0xc4a5)
+	words := uint64(dev.Size()) / 4
+	model := make(map[uint64]uint32)
+	// Build up suspended background work, then arm a program-count plan
+	// so the crash lands inside the resumed operations' window.
+	armed := false
+	crashed := false
+	for i := 0; i < 30000 && !crashed; i++ {
+		addr := rng.Uint64n(words/2) * 4
+		v := uint32(rng.Uint64())
+		_, err := dev.WriteWordErr(addr, v)
+		if err != nil {
+			if !errors.Is(err, envy.ErrPowerFailure) {
+				t.Fatalf("write: %v", err)
+			}
+			crashed = true
+			break
+		}
+		model[addr] = v
+		if !armed && dev.Stats().FlushOps.Suspensions > 0 {
+			dev.ArmFault(envy.FaultPlan{Program: 3, Seed: 0xc4a5})
+			armed = true
+		}
+		if i%64 == 63 {
+			dev.Idle(time.Duration(1+rng.Intn(50)) * time.Microsecond)
+		}
+		if dev.Crashed() {
+			crashed = true
+		}
+	}
+	if !armed {
+		t.Fatal("background operations were never suspended; the mid-resume window was not reached")
+	}
+	if !crashed {
+		t.Fatal("armed crash never fired")
+	}
+	if _, err := dev.Recover(); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	for addr, want := range model {
+		v, _, err := dev.ReadWordErr(addr)
+		if err != nil {
+			t.Fatalf("post-recovery read at %d: %v", addr, err)
+		}
+		if v != want {
+			t.Fatalf("acknowledged write lost at %d: read %#x, want %#x", addr, v, want)
+		}
+	}
+	if err := invariant.CheckDevice(dev.Core()); err != nil {
+		t.Fatal(err)
+	}
+}

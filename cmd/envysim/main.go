@@ -8,6 +8,7 @@
 //	envysim -parallel 8 -depth 4 -rate 16000  # multi-outstanding hosts
 //	envysim -parallel 8 -depth 16 -lanes -rate 30000  # lock-decomposed parallel service
 //	envysim -parallel 8 -depth 16 -adaptive -rate 30000  # adaptive queue depth
+//	envysim -bgworkers 8 -rate 16000          # background payload copies on worker threads
 //	envysim -paper -rate 30000 -seconds 2     # Figure 12 scale, ~2.5 GB RAM
 //
 // With -cluster N the command instead drives the sharded service tier:
@@ -53,6 +54,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "concurrent bank programs (§6 extension)")
 		depth     = flag.Int("depth", 1, "outstanding host requests (1 = the paper's single-outstanding host)")
 		lanes     = flag.Bool("lanes", false, "lock-decomposed parallel host service: disjoint-footprint requests run on concurrent execution lanes")
+		bgworkers = flag.Int("bgworkers", 0, "background worker pool: run flush and cleaning payload copies on this many OS threads with per-bank lanes (0 = serial; results are bit-identical either way)")
 		adaptive  = flag.Bool("adaptive", false, "adapt the effective host queue depth to the observed suspension rate")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		wearCheck = flag.Bool("wear", true, "enable 100-cycle wear leveling")
@@ -100,6 +102,7 @@ func main() {
 		cfg.Cleaning.WearThreshold = 100
 	}
 	cfg.ParallelFlush = *parallel
+	cfg.BGWorkers = *bgworkers
 	if *lanes {
 		// Four page-table shards per bank: shard locks are admission-time
 		// resources, not timed hardware, so finer sharding costs nothing on
@@ -124,6 +127,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dev.Close()
 	fmt.Printf("device: %d MB flash, %d segments, %s cleaning, buffer %d pages (seed %d)\n",
 		cfg.Geometry.Capacity()>>20, cfg.Geometry.Segments, *policy, dev.Config().BufferPages, *seed)
 	flatBytes := dev.PageTable().SRAMBytes()
@@ -191,6 +195,11 @@ func main() {
 	if *adaptive {
 		fmt.Printf("adaptive depth:   effective %d of %d (%d suspensions observed)\n",
 			res.HostEffectiveDepth, *depth, res.Suspensions)
+	}
+	if p := dev.Pool(); p != nil {
+		jobs, bytes, waits := p.Stats()
+		fmt.Printf("bg worker pool:   %d workers, %d payload jobs, %d B moved (%d lane joins blocked)\n",
+			p.Workers(), jobs, bytes, waits)
 	}
 	fmt.Printf("flush rate:       %.0f pages/s, cleaning cost %.2f\n", res.FlushPagesPerSec, res.CleaningCost)
 	b := res.Breakdown

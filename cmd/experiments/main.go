@@ -7,7 +7,7 @@
 //
 // With no arguments every experiment runs. Individual experiments:
 // fig1, fig6, fig8, fig9, fig10, fig12, fig13, fig14, fig15,
-// breakdown, lifetime, parallel, hostdepth, parhost, parwall,
+// breakdown, lifetime, parallel, hostdepth, parhost, parwall, bgpar,
 // ablations, maptier, diffflush, cluster.
 //
 // -json additionally writes BENCH_results.json: one record per
@@ -230,6 +230,65 @@ func main() {
 		}
 		t.Print(out)
 		record("parwall", metrics, start)
+	}
+	if selected("bgpar") {
+		// Wall-clock effect of the background worker pool: the same
+		// saturated flush/clean flood driven serial (BGWorkers=0) and
+		// pooled (one worker per bank). Counter identity is the
+		// determinism evidence; the speedup gate binds only on machines
+		// with enough cores (num_cpu records the provenance).
+		start := time.Now()
+		serialRig, err := experiments.BGParPrepare(0)
+		if err != nil {
+			fail("bgpar", err)
+		}
+		serialStart := time.Now()
+		serialCtr, err := serialRig.Drive(experiments.BGParRounds)
+		serialWall := time.Since(serialStart).Seconds()
+		serialRig.Close()
+		if err != nil {
+			fail("bgpar", err)
+		}
+		pooledRig, err := experiments.BGParPrepare(experiments.BGParWorkers)
+		if err != nil {
+			fail("bgpar", err)
+		}
+		pooledStart := time.Now()
+		pooledCtr, err := pooledRig.Drive(experiments.BGParRounds)
+		pooledWall := time.Since(pooledStart).Seconds()
+		jobs, bytes := pooledRig.PoolStats()
+		pooledRig.Close()
+		if err != nil {
+			fail("bgpar", err)
+		}
+		if err := experiments.BGParCheckIdentical(serialCtr, pooledCtr); err != nil {
+			fail("bgpar", err)
+		}
+		if err := experiments.BGParCheckSpeedup(serialWall, pooledWall, runtime.NumCPU()); err != nil {
+			fail("bgpar", err)
+		}
+		t := experiments.Table{
+			Title: "background worker pool: wall-clock speedup",
+			Note: fmt.Sprintf("16 KB pages, 8 banks, %d workers; counters bit-identical; host machine has %d CPU(s)",
+				experiments.BGParWorkers, runtime.NumCPU()),
+			Header: []string{"path", "wall seconds", "flushes", "clean copies", "pool jobs", "pool MB"},
+		}
+		t.Rows = append(t.Rows, []string{"serial", fmt.Sprintf("%.3f", serialWall),
+			fmt.Sprintf("%d", serialCtr.Flushes), fmt.Sprintf("%d", serialCtr.CleanCopies), "0", "0.0"})
+		t.Rows = append(t.Rows, []string{"pooled", fmt.Sprintf("%.3f", pooledWall),
+			fmt.Sprintf("%d", pooledCtr.Flushes), fmt.Sprintf("%d", pooledCtr.CleanCopies),
+			fmt.Sprintf("%d", jobs), fmt.Sprintf("%.1f", float64(bytes)/(1<<20))})
+		t.Print(out)
+		record("bgpar", map[string]float64{
+			"num_cpu":             float64(runtime.NumCPU()),
+			"serial_wall_seconds": serialWall,
+			"pooled_wall_seconds": pooledWall,
+			"speedup":             serialWall / pooledWall,
+			"flushes":             float64(pooledCtr.Flushes),
+			"clean_copies":        float64(pooledCtr.CleanCopies),
+			"pool_jobs":           float64(jobs),
+			"pool_bytes":          float64(bytes),
+		}, start)
 	}
 	if selected("ablations") {
 		start := time.Now()

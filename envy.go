@@ -150,6 +150,17 @@ type Config struct {
 	// GOMAXPROCS. Default off.
 	ParallelService bool
 
+	// BGWorkers, when positive, runs the background path's physical
+	// byte movement — flush-program payload copies into the Flash
+	// model's backing store, and cleaning relocation copies — on a pool
+	// of that many worker OS threads with one FIFO job lane per bank.
+	// The scheduler's decision loop stays serial and jobs never touch
+	// simulated state, so results are bit-identical to the serial path
+	// (BGWorkers 0) at any worker count and any GOMAXPROCS; only
+	// wall-clock throughput changes. Clamped to Banks; ignored with
+	// Dataless (no payloads to move). Default 0: off.
+	BGWorkers int
+
 	// AdaptiveDepth enables the host-queue depth controller: the engine
 	// throttles its effective admission depth within [1, HostQueueDepth]
 	// against the observed background-operation suspension rate (§3.4
@@ -223,6 +234,13 @@ type FaultPlan struct {
 	Erase    int64
 	Retarget int64
 
+	// Merge crashes at the Nth multi-lane merge boundary: several
+	// background operations complete at the same simulated instant and
+	// the power fails between their completion callbacks, leaving the
+	// window's effects partially merged — the earlier operations'
+	// completions applied, the later ones still in flight and torn.
+	Merge int64
+
 	// At crashes at the first crash point reached once the simulated
 	// clock passes this time.
 	At time.Duration
@@ -241,6 +259,7 @@ func (p FaultPlan) plan() fault.Plan {
 		Program:     p.Program,
 		Erase:       p.Erase,
 		Retarget:    p.Retarget,
+		Merge:       p.Merge,
 		At:          sim.Duration(p.At),
 		Probability: p.Probability,
 		Seed:        p.Seed,
@@ -308,6 +327,7 @@ func (c Config) coreConfig() core.Config {
 		ParallelFlush:     c.ParallelFlush,
 		PageTableShards:   c.PageTableShards,
 		ParallelService:   c.ParallelService,
+		BGWorkers:         c.BGWorkers,
 		Dataless:          c.Dataless,
 		DiffMaxChain:      c.DiffMaxChain,
 		FlushPolicy:       core.FlushPolicyKind(c.FlushPolicy),
@@ -971,6 +991,18 @@ type Stats struct {
 	MapFlushOps OpCounters
 	MapCleanOps OpCounters
 	MapEraseOps OpCounters
+
+	// Background worker-pool accounting (Config.BGWorkers; zero when the
+	// pool is off). BGPoolWorkers is the pool's thread count;
+	// BGPoolJobs/BGPoolBytes count payload jobs and bytes moved on the
+	// bank lanes (both deterministic — they mirror the serial path's
+	// program and copy counts). BGPoolSyncWaits counts lane joins that
+	// actually blocked; it is a wall-clock-domain figure that varies run
+	// to run and must never be compared across runs.
+	BGPoolWorkers   int
+	BGPoolJobs      int64
+	BGPoolBytes     int64
+	BGPoolSyncWaits int64
 }
 
 // OpCounters is the scheduler's lifecycle accounting for one kind of
@@ -1081,6 +1113,10 @@ func (dev *Device) Stats() Stats {
 		st.MapDirectoryBytes = mt.DirectoryBytes()
 		st.MapCacheBytes = mt.CacheBytes()
 	}
+	if p := dev.d.Pool(); p != nil {
+		st.BGPoolWorkers = p.Workers()
+		st.BGPoolJobs, st.BGPoolBytes, st.BGPoolSyncWaits = p.Stats()
+	}
 	return st
 }
 
@@ -1090,6 +1126,19 @@ func (dev *Device) ResetStats() {
 	defer dev.mu.Unlock()
 	dev.d.ResetStats()
 	dev.eng.ResetStats()
+}
+
+// Close releases the background worker pool's OS threads
+// (Config.BGWorkers). The device stays fully usable afterwards —
+// payload work simply runs inline, as with BGWorkers 0 — so Close is
+// about reclaiming threads promptly, not about ending the device's
+// life. Idempotent; a no-op without a pool. Unclosed pools are reaped
+// by a finalizer, so calling Close is optional outside long-lived
+// processes that churn through many devices.
+func (dev *Device) Close() {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	dev.d.Close()
 }
 
 // CheckConsistency verifies the device's internal invariants and

@@ -61,9 +61,10 @@ var claimRank = map[string]int{
 	"envy/internal/rlock.Table.banks":   6,
 	"envy/internal/rlock.Table.shared":  7,
 	"envy/internal/flash.BankSet.claim": 8,
+	"envy/internal/sched.poolState.mu":  9,
 }
 
-const claimRankDoc = "canonical order: Device.mu → cluster Cluster.mu → host Engine.mu → maptier Tier.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims"
+const claimRankDoc = "canonical order: Device.mu → cluster Cluster.mu → host Engine.mu → maptier Tier.mu → pagetable shards → rlock shards → rlock banks → rlock shared → bank claims → sched pool mutex"
 
 // bankClaimClass is the pseudo-lock class for BankSet claims. Claims
 // are ownership tokens held across suspend/resume, not scoped critical

@@ -855,8 +855,8 @@ func (e *Engine) cleanSegment(victim int) (dest int) {
 	e.arr.LivePages(victim, func(page int, logical uint32) {
 		oldPPN := geo.PPN(victim, page)
 		newPPN := geo.PPN(dest, moved)
-		payload := e.arr.Page(oldPPN)
 		var after func(newPPN uint32)
+		merged := false
 		if e.consolidate != nil && logical != flash.DiffOwner {
 			// Differential policy: a chained base is copied as its
 			// merged base∪chain image, and the chain (now redundant) is
@@ -864,11 +864,15 @@ func (e *Engine) cleanSegment(victim int) (dest int) {
 			// chains instead of relocating them (the after callback may
 			// invalidate dead unit pages, including ones later in this
 			// victim; LivePages skips pages that die mid-iteration).
-			if merged, fn, ok := e.consolidate(logical, oldPPN); ok {
-				payload, after = merged, fn
+			if m, fn, ok := e.consolidate(logical, oldPPN); ok {
+				// The merged image is a fresh buffer; program it as-is.
+				e.arr.Program(newPPN, logical, m)
+				after, merged = fn, true
 			}
 		}
-		e.arr.Program(newPPN, logical, payload)
+		if !merged {
+			e.arr.CopyPage(newPPN, oldPPN, logical)
+		}
 		e.arr.Invalidate(oldPPN)
 		e.remap(logical, oldPPN, newPPN)
 		if after != nil {

@@ -103,7 +103,7 @@ func (e *Engine) finishCopyOut(src, dst int, wear bool) error {
 		}
 		oldPPN := geo.PPN(src, pk.page)
 		newPPN := geo.PPN(target, e.nextFree(target))
-		e.arr.Program(newPPN, pk.logical, e.arr.Page(oldPPN))
+		e.arr.CopyPage(newPPN, oldPPN, pk.logical)
 		e.arr.Invalidate(oldPPN)
 		e.remap(pk.logical, oldPPN, newPPN)
 		e.counters.CleanCopies++

@@ -196,7 +196,7 @@ func (e *Engine) movePages(src, dstPart, n int, fromTail bool) int {
 	for _, pk := range picks {
 		oldPPN := geo.PPN(src, pk.page)
 		newPPN := geo.PPN(active, e.nextFree(active))
-		e.arr.Program(newPPN, pk.logical, e.arr.Page(oldPPN))
+		e.arr.CopyPage(newPPN, oldPPN, pk.logical)
 		e.arr.Invalidate(oldPPN)
 		e.remap(pk.logical, oldPPN, newPPN)
 	}
@@ -323,7 +323,7 @@ func (e *Engine) relocate(src, dst int) {
 	e.arr.LivePages(src, func(page int, logical uint32) {
 		oldPPN := geo.PPN(src, page)
 		newPPN := geo.PPN(dst, moved)
-		e.arr.Program(newPPN, logical, e.arr.Page(oldPPN))
+		e.arr.CopyPage(newPPN, oldPPN, logical)
 		e.arr.Invalidate(oldPPN)
 		e.remap(logical, oldPPN, newPPN)
 		moved++

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"envy/internal/cleaner"
-	"envy/internal/sched"
 	"envy/internal/sim"
 	"envy/internal/sram"
 	"envy/internal/stats"
@@ -133,15 +132,17 @@ func (d *Device) expandFullPage(frame *sram.Frame) bool {
 		d.enqueueStep(st)
 	}
 	destSeg, _ := d.cfg.Geometry.Split(ppn)
-	d.sched.Enqueue(&sched.Op{
-		Kind:      stats.OpFlush,
-		Act:       stats.Flushing,
-		Remaining: d.arr.TransferTime() + d.arr.ProgramTime(destSeg),
-		Bank:      d.cfg.Geometry.BankOf(destSeg),
-		Tag:       lpn,
-		Tagged:    true,
-		Done:      func() { d.finishFlush(lpn) },
-	})
+	op := d.sched.GetOp()
+	op.Kind = stats.OpFlush
+	op.Act = stats.Flushing
+	op.Remaining = d.arr.TransferTime() + d.arr.ProgramTime(destSeg)
+	op.Bank = d.cfg.Geometry.BankOf(destSeg)
+	op.Tag = lpn
+	op.Tagged = true
+	// The shared method value plus the lpn riding in Tag replace the
+	// per-flush closure this hot path used to allocate.
+	op.DonePage = d.finishFlushFn
+	d.sched.Enqueue(op)
 	return true
 }
 
@@ -235,23 +236,23 @@ func (d *Device) enqueueStep(st cleaner.Step) {
 			kind = stats.OpWearSwap
 		}
 		per := d.arr.TransferTime() + d.arr.ProgramTime(st.Seg)
-		d.sched.Enqueue(&sched.Op{
-			Kind:      kind,
-			Act:       stats.Cleaning,
-			Remaining: sim.Duration(st.Pages) * per,
-			Bank:      geo.BankOf(st.Seg),
-		})
+		op := d.sched.GetOp()
+		op.Kind = kind
+		op.Act = stats.Cleaning
+		op.Remaining = sim.Duration(st.Pages) * per
+		op.Bank = geo.BankOf(st.Seg)
+		d.sched.Enqueue(op)
 	case cleaner.StepErase:
 		kind := stats.OpErase
 		if st.Wear {
 			kind = stats.OpWearSwap
 		}
-		d.sched.Enqueue(&sched.Op{
-			Kind:      kind,
-			Act:       stats.Erasing,
-			Remaining: d.arr.EraseTime(st.Seg),
-			Bank:      geo.BankOf(st.Seg),
-		})
+		op := d.sched.GetOp()
+		op.Kind = kind
+		op.Act = stats.Erasing
+		op.Remaining = d.arr.EraseTime(st.Seg)
+		op.Bank = geo.BankOf(st.Seg)
+		d.sched.Enqueue(op)
 	default:
 		panic(fmt.Sprintf("core: unknown cleaner step kind %v", st.Kind))
 	}
@@ -275,6 +276,9 @@ func (d *Device) finishFlush(lpn uint32) {
 		d.arr.Invalidate(ppn)
 		d.buf.Requeue(frame)
 	} else {
+		// The frame is about to be freed and recycled for another page;
+		// a worker-lane payload copy may still be reading it.
+		d.arr.SyncPending(ppn)
 		d.setFlash(lpn, ppn)
 		d.buf.Remove(frame)
 		frame.ClearDirty()

@@ -137,6 +137,16 @@ type Config struct {
 	// flush promoted to a full page, which supersedes the chain.
 	DiffMaxChain int
 
+	// BGWorkers, when positive, runs the background path's physical
+	// byte movement — flush-program payload copies and cleaning
+	// relocation copies — on a pool of that many worker OS threads with
+	// one FIFO job lane per Flash bank (internal/sched.Pool). The
+	// scheduler's decision loop stays serial, so the simulated outcome
+	// is bit-identical at any worker count (and with the pool off);
+	// only wall-clock time changes. Clamped to Banks. Ignored with
+	// Dataless (there are no payloads to move). Default 0: off.
+	BGWorkers int
+
 	// Dataless disables payload storage (timing-only simulation).
 	Dataless bool
 
@@ -229,6 +239,15 @@ func (c *Config) setDefaults() error {
 	if c.DiffMaxChain < 0 {
 		return fmt.Errorf("core: DiffMaxChain %d must be positive", c.DiffMaxChain)
 	}
+	if c.BGWorkers < 0 {
+		return fmt.Errorf("core: BGWorkers %d must not be negative", c.BGWorkers)
+	}
+	if c.BGWorkers > c.Geometry.Banks {
+		c.BGWorkers = c.Geometry.Banks
+	}
+	if c.Dataless {
+		c.BGWorkers = 0
+	}
 	if c.Cleaning.LogicalPages == 0 {
 		pages := int(c.UtilizationTarget * float64(c.Geometry.Pages()))
 		max := (c.Geometry.Segments - 1) * c.Geometry.PagesPerSegment
@@ -277,6 +296,15 @@ type Device struct {
 	// occupies; sched executes those operations over simulated time.
 	banks *flash.BankSet
 	sched *sched.Scheduler
+
+	// pool, with Config.BGWorkers, carries the background path's
+	// payload memcpys on per-bank worker lanes; nil runs them inline.
+	pool *sched.Pool
+
+	// finishFlushFn is the shared flush-completion callback
+	// (Op.DonePage), bound once so the hot path allocates no closure
+	// per flush.
+	finishFlushFn func(uint32)
 
 	// flushPending counts flush tasks scheduled but not yet expanded
 	// into operations.
@@ -367,6 +395,11 @@ func New(cfg Config) (*Device, error) {
 		d.rlocks = rlock.NewTable(cfg.PageTableShards, cfg.Geometry.Banks)
 	}
 	d.banks = flash.NewBankSet(cfg.Geometry.Banks)
+	d.finishFlushFn = d.finishFlush
+	if cfg.BGWorkers > 0 {
+		d.pool = sched.NewPool(cfg.BGWorkers, cfg.Geometry.Banks)
+		d.arr.SetLanes(d.pool)
+	}
 	// One lane reproduces the paper's base controller (one background
 	// operation at a time). With ParallelFlush above 1, the banks run
 	// autonomously — every bank may host its own program or erase —
@@ -383,6 +416,15 @@ func New(cfg Config) (*Device, error) {
 			// flash operation (e.g. an expanded flush) crashes.
 			if d.inj != nil {
 				d.inj.Tick(t)
+			}
+		},
+		Merge: func() {
+			// A multi-lane background window is merging (k ≥ 2 ops
+			// completing at one instant); an armed fault may bring the
+			// power down between the lanes' completion callbacks, with
+			// the window's effects partially merged (§9 extended).
+			if d.inj != nil && d.inj.AtMerge() {
+				panic(&fault.Crash{Point: fault.PointMerge})
 			}
 		},
 	})
@@ -473,6 +515,12 @@ func (d *Device) latchCrash() {
 		return
 	}
 	d.crashed = true
+	// Every deferred payload job lands before anything is torn: the
+	// chips' already-transferred bytes are not what a power failure
+	// interrupts — the in-flight programs are, and TearInFlight below
+	// models those. Joining first keeps torn images bit-identical to
+	// the serial (pool-off) crash states.
+	d.arr.SyncLanes()
 	for _, lpn := range sortedKeys(d.flushPPN) {
 		ppn := d.flushPPN[lpn]
 		d.arr.TearInFlight(ppn, uint64(d.now)^uint64(ppn)*0x9e3779b97f4a7c15)
@@ -615,6 +663,21 @@ func (d *Device) MMUHitRate() float64 {
 // Array exposes the underlying Flash array for inspection (wear
 // statistics, utilization).
 func (d *Device) Array() *flash.Array { return d.arr }
+
+// Pool exposes the background worker pool, or nil when Config.BGWorkers
+// is 0 and the background path runs inline.
+func (d *Device) Pool() *sched.Pool { return d.pool }
+
+// Close joins and stops the background worker pool. The device stays
+// usable afterwards — payload work simply runs inline, as with
+// BGWorkers 0 — so callers that crash and re-mount the same Device need
+// not reopen anything. Safe to call multiple times and on devices built
+// without a pool (pools left unclosed are reaped by a finalizer).
+func (d *Device) Close() {
+	if d.pool != nil {
+		d.pool.Close()
+	}
+}
 
 // BufferLen returns the current write-buffer occupancy in pages.
 func (d *Device) BufferLen() int { return d.buf.Len() }
@@ -1086,6 +1149,7 @@ func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
 			// The in-flight Flash copy is stale the moment this write
 			// lands; it will be invalidated when the program finishes.
 			frame.Dirtied = true
+			d.syncFlushTarget(page)
 		}
 	}
 	d.completeAccess(100*sim.Nanosecond, stats.Writing) // SRAM write cycle
@@ -1098,6 +1162,19 @@ func (d *Device) write(addr uint64, p []byte) (sim.Duration, error) {
 	lat := d.now.Sub(start)
 	d.writeLat.Record(lat)
 	return lat, nil
+}
+
+// syncFlushTarget joins any worker-lane payload copy still reading the
+// SRAM frame of an in-flight full-page flush of lpn, so the host write
+// about to mutate the frame cannot race the chip transfer. The deferred
+// job holds a reference to frame.Data itself; the Flash image must
+// capture the pre-write bytes, exactly as the serial path does.
+// Diff-policy flushes snapshot their payloads at expand time and never
+// alias the frame, so only flushPPN reservations matter here.
+func (d *Device) syncFlushTarget(lpn uint32) {
+	if ppn, ok := d.flushPPN[lpn]; ok {
+		d.arr.SyncPending(ppn)
+	}
 }
 
 // copyOnWrite moves a page's current contents into a fresh SRAM frame

@@ -6,7 +6,6 @@ import (
 
 	"envy/internal/cleaner"
 	"envy/internal/pagetable"
-	"envy/internal/sched"
 	"envy/internal/sim"
 	"envy/internal/sram"
 	"envy/internal/stats"
@@ -270,13 +269,16 @@ func (d *Device) expandDiff(first *sram.Frame) bool {
 		d.enqueueStep(st)
 	}
 	destSeg, _ := d.cfg.Geometry.Split(ppn)
-	d.sched.Enqueue(&sched.Op{
-		Kind:      stats.OpDiffFlush,
-		Act:       stats.Flushing,
-		Remaining: d.arr.TransferTime() + d.arr.ProgramTime(destSeg),
-		Bank:      d.cfg.Geometry.BankOf(destSeg),
-		Done:      func() { d.finishDiffFlush(seq) },
-	})
+	op := d.sched.GetOp()
+	op.Kind = stats.OpDiffFlush
+	op.Act = stats.Flushing
+	op.Remaining = d.arr.TransferTime() + d.arr.ProgramTime(destSeg)
+	op.Bank = d.cfg.Geometry.BankOf(destSeg)
+	// seq is 64-bit, wider than the 32-bit Tag, so this op keeps its
+	// closure; diff units are batched (one op per ~8 members), so the
+	// allocation is off the per-page hot path anyway.
+	op.Done = func() { d.finishDiffFlush(seq) }
+	d.sched.Enqueue(op)
 	return true
 }
 

@@ -320,6 +320,10 @@ func (ln *lane) write(addr uint64, p []byte) error {
 		// The in-flight Flash copy is stale the moment this write
 		// lands; it will be invalidated when the program finishes.
 		frame.Dirtied = true
+		// Pool.Sync is safe from service-lane goroutines, and flushPPN
+		// is only mutated by the serial background step, which never
+		// runs concurrently with a parallel service window.
+		d.syncFlushTarget(page)
 	}
 	lat += 100 * sim.Nanosecond // SRAM write cycle
 	if frame.Data != nil {

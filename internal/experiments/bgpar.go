@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"envy/internal/cleaner"
+	"envy/internal/core"
+	"envy/internal/flash"
+	"envy/internal/sim"
+	"envy/internal/stats"
+)
+
+// The bgpar experiment measures the background worker pool: the same
+// saturated flush/clean workload runs once with the pool off
+// (BGWorkers=0, payload bytes move inline on the control thread) and
+// once with one worker per bank, and cmd/experiments times both drives
+// on the wall clock. Big pages make the byte movement dominate — every
+// one-word host write dirties a fresh 16 KB page, so the flush engine
+// programs the full page and the cleaner relocates whole pages behind
+// it — which is exactly the work the pool takes off the control
+// thread. The simulated counters must be identical between the two
+// runs (the pool is invisible on the simulated timeline); the wall
+// clocks may differ, and on a multi-core machine the pooled run must
+// win by BGParMinSpeedup.
+
+// BGParRounds is the default drive length: enough full-page payload
+// traffic that byte movement, not device setup, dominates the wall
+// measurement.
+const BGParRounds = 40
+
+// BGParMinSpeedup is the wall-clock gate: with one worker per bank on
+// a machine with at least BGParGateCPUs cores, the pooled drive must
+// be at least this much faster than the serial drive.
+const BGParMinSpeedup = 1.3
+
+// BGParGateCPUs is the core count below which the speedup gate does
+// not bind: worker threads cannot beat the inline path without
+// hardware parallelism to run on (on one core the pool only adds
+// handoff overhead).
+const BGParGateCPUs = 4
+
+// BGParWorkers is the pooled configuration's worker count — one per
+// bank of the eight-bank rig.
+const BGParWorkers = 8
+
+// bgparConfig is the saturated background rig: eight banks, flush
+// programs striping across all of them, 16 KB pages so each deferred
+// payload job is a real memcpy.
+func bgparConfig(workers int) core.Config {
+	return core.Config{
+		Geometry: flash.Geometry{PageSize: 16384, PagesPerSegment: 16, Segments: 16, Banks: 8},
+		Cleaning: cleaner.Config{
+			Kind:              cleaner.Greedy,
+			PartitionSegments: 2,
+		},
+		BufferPages:   32,
+		ParallelFlush: 8,
+		BGWorkers:     workers,
+	}
+}
+
+// BGParRig is a prepared background-saturation workload. Preparation
+// is serial; callers time Drive alone.
+type BGParRig struct {
+	dev      *core.Device
+	pages    int
+	pageSize int
+}
+
+// BGParPrepare builds the rig at the given worker count (0 = serial
+// inline path).
+func BGParPrepare(workers int) (*BGParRig, error) {
+	cfg := bgparConfig(workers)
+	dev, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BGParRig{
+		dev:      dev,
+		pages:    int(dev.Size() / int64(cfg.Geometry.PageSize)),
+		pageSize: cfg.Geometry.PageSize,
+	}, nil
+}
+
+// Pages returns the logical page count the drive floods.
+func (r *BGParRig) Pages() int { return r.pages }
+
+// Drive floods seeded-random logical pages with one word each — every
+// write dirties a fresh 16 KB page, so the background path programs
+// the full page, and the random targeting leaves live pages in every
+// victim segment so cleaning relocates whole pages behind the flushes
+// — then drains. The seed is fixed: the simulated outcome is
+// deterministic in (rounds) alone; wall time is the caller's to
+// measure.
+func (r *BGParRig) Drive(rounds int) (stats.Counters, error) {
+	rng := sim.NewRNG(0xb65eed)
+	wordsPerPage := r.pageSize / 4
+	for round := 0; round < rounds; round++ {
+		off := uint64(round%wordsPerPage) * 4
+		for i := 0; i < r.pages; i++ {
+			p := rng.Uint64n(uint64(r.pages))
+			addr := p*uint64(r.pageSize) + off
+			if _, err := r.dev.WriteWordErr(addr, uint32(round*r.pages+i)); err != nil {
+				return stats.Counters{}, fmt.Errorf("round %d write %d: %w", round, i, err)
+			}
+		}
+		r.dev.AdvanceTo(r.dev.Now().Add(2 * sim.Millisecond))
+	}
+	r.dev.AdvanceTo(r.dev.Now().Add(100 * sim.Millisecond)) // drain background work
+	return r.dev.Counters(), nil
+}
+
+// PoolStats returns the rig device's worker-pool activity (zero on the
+// serial rig): jobs and payload bytes moved by workers.
+func (r *BGParRig) PoolStats() (jobs, bytes int64) {
+	p := r.dev.Pool()
+	if p == nil {
+		return 0, 0
+	}
+	jobs, bytes, _ = p.Stats()
+	return jobs, bytes
+}
+
+// Close releases the rig's worker pool.
+func (r *BGParRig) Close() { r.dev.Close() }
+
+// BGParCheckIdentical is the determinism evidence: the serial and
+// pooled drives must produce identical simulated counters — the pool
+// moves bytes, never outcomes.
+func BGParCheckIdentical(serial, pooled stats.Counters) error {
+	if serial != pooled {
+		return fmt.Errorf("experiments: pooled counters diverged from serial:\nserial %+v\npooled %+v", serial, pooled)
+	}
+	if serial.Flushes == 0 || serial.CleanCopies == 0 {
+		return fmt.Errorf("experiments: bgpar drive did not saturate the background path (flushes %d, clean copies %d)",
+			serial.Flushes, serial.CleanCopies)
+	}
+	return nil
+}
+
+// BGParCheckSpeedup enforces the wall-clock gate in code: on a machine
+// with at least BGParGateCPUs cores, serial/pooled must be at least
+// BGParMinSpeedup. On smaller machines the gate reports success
+// without binding — there is no parallel hardware for the workers to
+// exploit — which is why bench records carry num_cpu for provenance.
+func BGParCheckSpeedup(serialWall, pooledWall float64, numCPU int) error {
+	if pooledWall <= 0 || serialWall <= 0 {
+		return fmt.Errorf("experiments: non-positive wall times (serial %.6fs, pooled %.6fs)", serialWall, pooledWall)
+	}
+	if numCPU < BGParGateCPUs {
+		return nil
+	}
+	if speedup := serialWall / pooledWall; speedup < BGParMinSpeedup {
+		return fmt.Errorf("experiments: pooled background path %.2f× vs serial, below the %.2f× gate (%d CPUs)",
+			speedup, BGParMinSpeedup, numCPU)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBGParDeterminism drives the serial and pooled rigs through the
+// same seeded flood and requires bit-identical simulated counters —
+// with the pool demonstrably active, so the identity is not vacuous.
+func TestBGParDeterminism(t *testing.T) {
+	serialRig, err := BGParPrepare(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCtr, err := serialRig.Drive(6)
+	serialRig.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledRig, err := BGParPrepare(BGParWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledCtr, err := pooledRig.Drive(6)
+	jobs, bytes := pooledRig.PoolStats()
+	pooledRig.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BGParCheckIdentical(serialCtr, pooledCtr); err != nil {
+		t.Fatal(err)
+	}
+	if jobs == 0 || bytes == 0 {
+		t.Fatalf("pooled rig moved no payloads through workers (jobs %d, bytes %d)", jobs, bytes)
+	}
+}
+
+// TestBGParSpeedupGate pins the gate function itself: it binds at or
+// above BGParGateCPUs cores, passes a compliant speedup, rejects a
+// shortfall, and never binds on machines too small to parallelize.
+func TestBGParSpeedupGate(t *testing.T) {
+	if err := BGParCheckSpeedup(BGParMinSpeedup, 1.0, BGParGateCPUs); err != nil {
+		t.Errorf("speedup exactly at the gate rejected: %v", err)
+	}
+	err := BGParCheckSpeedup(1.0, 0.9, BGParGateCPUs)
+	if err == nil {
+		t.Error("1.11x speedup passed a 1.3x gate on a gated machine")
+	} else if !strings.Contains(err.Error(), "below the") {
+		t.Errorf("gate failure has the wrong shape: %v", err)
+	}
+	if err := BGParCheckSpeedup(1.0, 2.0, BGParGateCPUs-1); err != nil {
+		t.Errorf("gate bound on a machine below %d cores: %v", BGParGateCPUs, err)
+	}
+	if err := BGParCheckSpeedup(0, 1.0, 8); err == nil {
+		t.Error("non-positive wall time accepted")
+	}
+}

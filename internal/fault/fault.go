@@ -49,6 +49,14 @@ const (
 	// PointExternal marks a crash forced from outside the injector
 	// (Device.CrashPowerCycle with no armed plan).
 	PointExternal
+	// PointMerge is a merge boundary inside a multi-lane background
+	// window: several background operations (flush programs, cleaning
+	// copies, erases on disjoint banks) completed at the same simulated
+	// instant, and the power fails between their completion callbacks —
+	// some lanes' SRAM/flash effects are merged into the controller
+	// state, the rest are still in flight and tear like any interrupted
+	// program.
+	PointMerge
 )
 
 func (p Point) String() string {
@@ -61,6 +69,8 @@ func (p Point) String() string {
 		return "retarget"
 	case PointExternal:
 		return "external"
+	case PointMerge:
+		return "merge"
 	}
 	return fmt.Sprintf("Point(%d)", int(p))
 }
@@ -83,6 +93,8 @@ func (c *Crash) Error() string {
 		return fmt.Sprintf("fault: power failed mid-erase of segment %d", c.Seg)
 	case PointRetarget:
 		return fmt.Sprintf("fault: power failed between retarget and invalidate of logical page %d", c.LPN)
+	case PointMerge:
+		return "fault: power failed between lane completions of a multi-lane background window"
 	default:
 		return "fault: power failed"
 	}
@@ -98,6 +110,14 @@ type Plan struct {
 	Program  int64 // crash at the Nth Flash page program
 	Erase    int64 // crash at the Nth segment erase
 	Retarget int64 // crash at the Nth copy-on-write retarget window
+
+	// Merge crashes at the Nth merge boundary inside multi-lane
+	// background windows: when k ≥ 2 background operations complete at
+	// one simulated instant, the k-1 gaps between their completion
+	// callbacks are counted, and the power fails in the Nth such gap —
+	// the earlier lanes' effects are merged, the later ones are lost in
+	// flight.
+	Merge int64
 
 	// At crashes at the first crash point reached once the simulated
 	// clock is at or past this time (a crash needs an operation to
@@ -115,7 +135,7 @@ type Plan struct {
 
 // Armed reports whether the plan can ever fire.
 func (p Plan) Armed() bool {
-	return p.Program > 0 || p.Erase > 0 || p.Retarget > 0 || p.At > 0 || p.Probability > 0
+	return p.Program > 0 || p.Erase > 0 || p.Retarget > 0 || p.Merge > 0 || p.At > 0 || p.Probability > 0
 }
 
 // Tear describes how far an interrupted page program got: FullBytes
@@ -135,6 +155,7 @@ type Injector struct {
 	programs  int64
 	erases    int64
 	retargets int64
+	merges    int64
 
 	timeDue bool
 	fired   bool
@@ -212,6 +233,20 @@ func (in *Injector) AtRetarget() bool {
 	in.retargets++
 	return in.fire(in.retargets, in.plan.Retarget)
 }
+
+// AtMerge is called by the scheduler between the completion callbacks
+// of a multi-lane background window (k ≥ 2 operations retiring at one
+// simulated instant); true means the power fails in that gap, with the
+// window's effects partially merged.
+func (in *Injector) AtMerge() bool {
+	in.merges++
+	return in.fire(in.merges, in.plan.Merge)
+}
+
+// MergeBoundaries returns how many multi-lane merge boundaries the
+// injector has observed (including the one it fired at, if any). Crash
+// sweeps use it to size a deterministic Plan.Merge sweep.
+func (in *Injector) MergeBoundaries() int64 { return in.merges }
 
 // TearSeed returns a fresh seed for scrambling torn contents (half
 // erases, in-flight flush tears), drawn from the injector's stream so

@@ -1,0 +1,220 @@
+package flash
+
+import (
+	"bytes"
+	"testing"
+
+	"envy/internal/fault"
+)
+
+// queuedLanes is a deterministic, thread-free Lanes implementation for
+// testing the deferral protocol: jobs queue per lane and run only when
+// the lane is joined. It makes the sync points observable — if the
+// array forgets a join, the test reads stale bytes instead of racing.
+type queuedLanes struct {
+	queues   [][]func()
+	syncs    int
+	syncAlls int
+}
+
+func newQueuedLanes(banks int) *queuedLanes {
+	return &queuedLanes{queues: make([][]func(), banks)}
+}
+
+func (q *queuedLanes) Exec(lane, n int, job func()) {
+	q.queues[lane] = append(q.queues[lane], job)
+}
+
+func (q *queuedLanes) Sync(lane int) {
+	q.syncs++
+	jobs := q.queues[lane]
+	q.queues[lane] = nil
+	for _, job := range jobs {
+		job()
+	}
+}
+
+func (q *queuedLanes) SyncAll() {
+	q.syncAlls++
+	for lane := range q.queues {
+		jobs := q.queues[lane]
+		q.queues[lane] = nil
+		for _, job := range jobs {
+			job()
+		}
+	}
+}
+
+func (q *queuedLanes) pending() int {
+	n := 0
+	for _, jobs := range q.queues {
+		n += len(jobs)
+	}
+	return n
+}
+
+// TestLanesDeferredProgram pins the basic protocol: with lanes
+// installed, Program defers the byte copy but Page() joins the bank
+// lane before reading, so observed contents are always the programmed
+// ones.
+func TestLanesDeferredProgram(t *testing.T) {
+	a := mustNew(t, testGeometry())
+	q := newQueuedLanes(testGeometry().Banks)
+	a.SetLanes(q)
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	a.Program(0, 7, payload)
+	if q.pending() != 1 {
+		t.Fatalf("program queued %d jobs, want 1", q.pending())
+	}
+	if a.State(0) != Valid || a.Owner(0) != 7 {
+		t.Fatal("state transition must be eager, not deferred")
+	}
+	if got := a.Page(0); !bytes.Equal(got, payload) {
+		t.Fatalf("Page read %v before the lane job landed, want %v", got, payload)
+	}
+	if q.pending() != 0 {
+		t.Fatal("Page did not join the pending program's lane")
+	}
+	// A settled page reads without further joins.
+	syncs := q.syncs
+	a.Page(0)
+	if q.syncs != syncs {
+		t.Fatal("reading a settled page joined a lane for nothing")
+	}
+}
+
+// TestLanesShortPayloadZeroPad pins that deferred programs zero-pad
+// exactly like eager ones.
+func TestLanesShortPayloadZeroPad(t *testing.T) {
+	a := mustNew(t, testGeometry())
+	q := newQueuedLanes(testGeometry().Banks)
+	a.SetLanes(q)
+	a.ProgramUsed(1, 3, []byte{9, 9}, 2)
+	want := []byte{9, 9, 0, 0, 0, 0, 0, 0}
+	if got := a.Page(1); !bytes.Equal(got, want) {
+		t.Fatalf("short payload stored as %v, want %v", got, want)
+	}
+}
+
+// TestLanesCopyPageCrossBank pins the cross-bank producer join: when
+// the source page's own program is still in flight on another bank's
+// lane, CopyPage must join the producer lane at enqueue, or the copy
+// job would read unsettled bytes.
+func TestLanesCopyPageCrossBank(t *testing.T) {
+	geo := testGeometry() // 4 segments over 2 banks: segment 0 bank 0, segment 1 bank 1
+	a := mustNew(t, geo)
+	q := newQueuedLanes(geo.Banks)
+	a.SetLanes(q)
+	src := uint32(0)                   // segment 0, bank 0
+	dst := uint32(geo.PagesPerSegment) // segment 1, bank 1
+	payload := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	a.Program(src, 11, payload)
+	if q.pending() != 1 {
+		t.Fatal("source program not deferred")
+	}
+	a.CopyPage(dst, src, 11)
+	// The enqueue itself must have joined bank 0 (the producer); only
+	// the copy job on bank 1 may still be pending.
+	if len(q.queues[0]) != 0 {
+		t.Fatal("CopyPage did not join the cross-bank producer lane")
+	}
+	if got := a.Page(dst); !bytes.Equal(got, payload) {
+		t.Fatalf("copied page reads %v, want %v", got, payload)
+	}
+}
+
+// TestLanesCopyPageSameBank pins the same-bank ordering path: producer
+// and copy ride the same lane FIFO, so no join is needed at enqueue and
+// the copy still observes the produced bytes.
+func TestLanesCopyPageSameBank(t *testing.T) {
+	geo := testGeometry()
+	a := mustNew(t, geo)
+	q := newQueuedLanes(geo.Banks)
+	a.SetLanes(q)
+	src := uint32(0)                       // segment 0, bank 0
+	dst := uint32(2 * geo.PagesPerSegment) // segment 2, bank 0
+	payload := []byte{1, 1, 2, 3, 5, 8, 13, 21}
+	a.Program(src, 5, payload)
+	syncs := q.syncs
+	a.CopyPage(dst, src, 5)
+	if q.syncs != syncs {
+		t.Fatal("same-bank CopyPage joined a lane; FIFO order already covers it")
+	}
+	if q.pending() != 2 {
+		t.Fatalf("%d jobs pending, want producer + copy", q.pending())
+	}
+	if got := a.Page(dst); !bytes.Equal(got, payload) {
+		t.Fatalf("copied page reads %v, want %v", got, payload)
+	}
+}
+
+// TestLanesEraseBarrier pins the segment-recycling barrier: erasing a
+// segment with jobs still touching its backing bytes (as producer or as
+// pinned copy source) joins every lane first.
+func TestLanesEraseBarrier(t *testing.T) {
+	geo := testGeometry()
+	a := mustNew(t, geo)
+	q := newQueuedLanes(geo.Banks)
+	a.SetLanes(q)
+	src := uint32(0)                   // segment 0
+	dst := uint32(geo.PagesPerSegment) // segment 1, other bank
+	a.Program(src, 3, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	a.Page(src) // settle the producer
+	a.CopyPage(dst, src, 3)
+	a.Invalidate(src)
+	if q.pending() != 1 {
+		t.Fatalf("%d jobs pending before erase, want the copy", q.pending())
+	}
+	// The copy job reads segment 0's bytes; erasing segment 0 must join
+	// it even though the job rides segment 1's bank lane.
+	a.Erase(0)
+	if q.pending() != 0 {
+		t.Fatal("Erase recycled a segment with a pinned reader still in flight")
+	}
+	if got, want := a.Page(dst), []byte{1, 2, 3, 4, 5, 6, 7, 8}; !bytes.Equal(got, want) {
+		t.Fatalf("copy landed %v after erase barrier, want %v", got, want)
+	}
+}
+
+// TestLanesCrashSettlesFirst pins the crash path: a program crash tears
+// from settled bytes — every deferred job is joined before the torn
+// image is built — so pooled and serial crash states are bit-identical.
+func TestLanesCrashSettlesFirst(t *testing.T) {
+	geo := testGeometry()
+	a := mustNew(t, geo)
+	q := newQueuedLanes(geo.Banks)
+	a.SetLanes(q)
+	inj := fault.NewInjector(fault.Plan{Program: 2})
+	a.SetInjector(inj)
+	a.Program(0, 1, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if q.pending() != 1 {
+		t.Fatal("first program not deferred")
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("second program did not crash")
+			}
+		}()
+		a.Program(1, 2, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	}()
+	if q.pending() != 0 {
+		t.Fatal("crash tore the array with a payload job still in flight")
+	}
+	if got, want := a.Page(0), []byte{1, 2, 3, 4, 5, 6, 7, 8}; !bytes.Equal(got, want) {
+		t.Fatalf("settled page reads %v after crash, want %v", got, want)
+	}
+}
+
+// TestLanesDatalessIgnored pins that a dataless array (no payloads to
+// move) ignores lane installation entirely.
+func TestLanesDatalessIgnored(t *testing.T) {
+	a := mustNew(t, testGeometry(), Dataless())
+	q := newQueuedLanes(testGeometry().Banks)
+	a.SetLanes(q)
+	a.Program(0, 1, nil)
+	a.CopyPage(1, 0, 1)
+	if q.pending() != 0 || q.syncs != 0 || q.syncAlls != 0 {
+		t.Fatal("dataless array used worker lanes")
+	}
+}

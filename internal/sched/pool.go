@@ -1,0 +1,260 @@
+// Worker pool for bank-local physical work.
+//
+// The scheduler's decision loop — which op runs, when it completes,
+// what its completion callback mutates — must stay serial: completions
+// trigger Done callbacks that enqueue more work at exact simulated
+// instants, and the breakdown accounting couples the running set. What
+// CAN run concurrently is the physical byte movement the simulated
+// banks perform: flush-program payload copies into the flash model's
+// backing store, cleaning relocation copies from segment to segment.
+// Those bytes are invisible to the simulated timeline; only their
+// final contents matter, and per-bank FIFO order pins those contents.
+//
+// Pool runs that byte movement on a fixed set of OS worker threads
+// behind per-bank job lanes. The deterministic merge rule is the host
+// path's (internal/core lanes): work whose bank footprints are
+// disjoint runs concurrently; work on one bank runs in admission
+// (enqueue) order; the control plane joins a lane (Sync) before any
+// serial read or mutation of state a lane job may still be producing.
+// Because jobs never touch clocks, counters, or any simulated state,
+// the simulated outcome is bit-identical at any worker count and any
+// GOMAXPROCS — including workers=1 and the pool disabled entirely.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolLane is one bank's FIFO job queue. jobs is guarded by Pool.mu;
+// busy marks that a worker is draining the lane (at most one worker
+// ever runs a lane, which is what preserves per-bank FIFO order).
+type poolLane struct {
+	jobs []func()
+	busy bool
+}
+
+// Pool executes bank-local jobs on worker OS threads, one FIFO lane
+// per flash bank. Exec and Sync are safe for concurrent use (the
+// parallel host service's lanes sync through reads); job functions
+// must confine themselves to the memory handed to them at enqueue
+// time and must not touch simulated state.
+//
+// Pool is a thin handle over the shared state the workers reference:
+// the split lets a finalizer on the handle reclaim the worker threads
+// of a pool dropped without Close (the workers keep only the inner
+// state alive, so the handle itself can become unreachable).
+type Pool struct {
+	*poolState
+}
+
+type poolState struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  []poolLane
+	closed bool
+
+	// next rotates the lane scan start so no lane starves when jobs
+	// outnumber workers. Guarded by mu.
+	next int
+
+	workers int
+
+	// jobs and bytes count completed lane work; both are deterministic
+	// (they mirror the serial program/copy counts). syncWaits counts
+	// Sync calls that actually had to wait — a wall-clock-domain
+	// figure that varies run to run and must never feed simulated
+	// outcomes.
+	jobs      atomic.Int64
+	bytes     atomic.Int64
+	syncWaits atomic.Int64
+}
+
+// NewPool starts a pool of workers worker threads serving banks job
+// lanes. workers is clamped to [1, banks] — more workers than lanes
+// could never all run. Callers that want the pool off entirely should
+// not construct one.
+func NewPool(workers, banks int) *Pool {
+	if banks < 1 {
+		panic(fmt.Sprintf("sched: pool needs at least one bank lane, got %d", banks))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > banks {
+		workers = banks
+	}
+	s := &poolState{lanes: make([]poolLane, banks), workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	p := &Pool{poolState: s}
+	// Devices are created freely in tests and experiments; if one is
+	// dropped without Close, reclaim the worker threads with the pool.
+	runtime.SetFinalizer(p, func(p *Pool) { p.poolState.Close() })
+	return p
+}
+
+// Workers returns the pool's worker-thread count.
+func (p *poolState) Workers() int { return p.workers }
+
+// Exec appends job to lane's FIFO queue. n is the job's payload size
+// in bytes, recorded for the lane byte tally. The job runs exactly
+// once, after every job enqueued on the same lane before it; jobs on
+// distinct lanes may run concurrently. On a closed pool the job runs
+// inline (shutdown must not lose bytes).
+func (p *poolState) Exec(lane int, n int, job func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		job()
+		p.jobs.Add(1)
+		p.bytes.Add(int64(n))
+		return
+	}
+	p.lanes[lane].jobs = append(p.lanes[lane].jobs, job)
+	p.bytes.Add(int64(n))
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Sync blocks until lane's queue is empty and no worker is mid-job on
+// it — the control plane's join before reading or mutating memory a
+// lane job may still be producing.
+func (p *poolState) Sync(lane int) {
+	p.mu.Lock()
+	waited := false
+	for len(p.lanes[lane].jobs) > 0 || p.lanes[lane].busy {
+		waited = true
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	if waited {
+		p.syncWaits.Add(1)
+	}
+}
+
+// SyncAll joins every lane. Crash latching and segment erases use it:
+// tearing in-flight pages and recycling a segment's backing bytes must
+// observe every lane's work applied.
+func (p *poolState) SyncAll() {
+	p.mu.Lock()
+	waited := false
+	for p.anyPending() {
+		waited = true
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	if waited {
+		p.syncWaits.Add(1)
+	}
+}
+
+// anyPending reports whether any lane has queued or running work.
+// Callers hold mu.
+func (p *poolState) anyPending() bool {
+	for i := range p.lanes {
+		if len(p.lanes[i].jobs) > 0 || p.lanes[i].busy {
+			return true
+		}
+	}
+	return false
+}
+
+// Close drains every lane and stops the workers. Further Exec calls
+// run their jobs inline; Sync calls return immediately. Idempotent.
+func (p *poolState) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	for p.anyPending() {
+		p.cond.Wait()
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Stats returns the pool's lifetime counters: jobs and bytes moved on
+// the lanes (both deterministic), and the number of Sync calls that
+// actually waited (wall-clock domain — never compare across runs).
+func (p *poolState) Stats() (jobs, bytes, syncWaits int64) {
+	return p.jobs.Load(), p.bytes.Load(), p.syncWaits.Load()
+}
+
+// SelfCheck verifies the pool is quiescent — no queued or running lane
+// work. The device-wide invariant checker calls it after a SyncAll, so
+// a failure means a job was enqueued outside the control plane.
+func (p *poolState) SelfCheck() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.lanes {
+		if n := len(p.lanes[i].jobs); n > 0 || p.lanes[i].busy {
+			return fmt.Errorf("sched: pool lane %d not quiescent (%d queued, busy=%v)", i, n, p.lanes[i].busy)
+		}
+	}
+	return nil
+}
+
+// worker is one pool thread: claim an idle lane with work, drain its
+// current backlog in FIFO order, repeat. Draining the whole backlog
+// per claim keeps lock traffic off the per-job path; marking the lane
+// busy keeps a second worker off it, which is the FIFO guarantee.
+func (p *poolState) worker() {
+	for {
+		lane, batch, ok := p.claimLane()
+		if !ok {
+			return
+		}
+		for _, job := range batch {
+			job()
+		}
+		p.jobs.Add(int64(len(batch)))
+		p.releaseLane(lane)
+	}
+}
+
+// claimLane blocks until some lane has queued work and no worker on it,
+// takes that lane's whole backlog, and marks the lane busy. ok is false
+// when the pool closes instead.
+func (p *poolState) claimLane() (lane int, batch []func(), ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		lane = -1
+		for i := 0; i < len(p.lanes); i++ {
+			j := (p.next + i) % len(p.lanes)
+			if !p.lanes[j].busy && len(p.lanes[j].jobs) > 0 {
+				lane = j
+				break
+			}
+		}
+		if lane < 0 {
+			if p.closed {
+				return 0, nil, false
+			}
+			p.cond.Wait()
+			continue
+		}
+		p.next = (lane + 1) % len(p.lanes)
+		batch = p.lanes[lane].jobs
+		p.lanes[lane].jobs = nil
+		p.lanes[lane].busy = true
+		return lane, batch, true
+	}
+}
+
+// releaseLane clears a drained lane's busy mark and wakes syncers (the
+// lane may be quiescent now) and fellow workers (more lanes may have
+// filled while the batch ran).
+func (p *poolState) releaseLane(lane int) {
+	p.mu.Lock()
+	p.lanes[lane].busy = false
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolLaneFIFO pins the per-lane ordering guarantee: jobs on one
+// lane run in enqueue order no matter how many workers serve the pool.
+func TestPoolLaneFIFO(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers, 4)
+		const jobs = 2000
+		var got [4][]int
+		var mu [4]sync.Mutex
+		for i := 0; i < jobs; i++ {
+			lane, seq := i%4, i/4
+			p.Exec(lane, 1, func() {
+				mu[lane].Lock()
+				got[lane] = append(got[lane], seq)
+				mu[lane].Unlock()
+			})
+		}
+		p.SyncAll()
+		for lane := 0; lane < 4; lane++ {
+			if len(got[lane]) != jobs/4 {
+				t.Fatalf("workers=%d lane %d ran %d jobs, want %d", workers, lane, len(got[lane]), jobs/4)
+			}
+			for seq, v := range got[lane] {
+				if v != seq {
+					t.Fatalf("workers=%d lane %d position %d ran job %d: FIFO order violated", workers, lane, seq, v)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolSync pins the join contract: after Sync(lane) every job
+// enqueued on that lane has fully run; other lanes' jobs may still be
+// pending.
+func TestPoolSync(t *testing.T) {
+	p := NewPool(2, 2)
+	defer p.Close()
+	var done atomic.Int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.Exec(0, 1, func() { done.Add(1) })
+	}
+	p.Sync(0)
+	if got := done.Load(); got != n {
+		t.Fatalf("after Sync(0): %d of %d lane-0 jobs ran", got, n)
+	}
+	if err := p.SelfCheck(); err == nil {
+		// lane 1 never had work, lane 0 is drained: pool is quiescent.
+	} else {
+		t.Fatalf("SelfCheck after sync: %v", err)
+	}
+}
+
+// TestPoolConcurrentSyncers exercises Sync from many goroutines racing
+// Exec from the control thread — the shape the parallel host service
+// produces (lane reads joining flush payloads). Run under -race in CI.
+func TestPoolConcurrentSyncers(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.Sync(lane)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 5000; i++ {
+		p.Exec(i%8, 4, func() { ran.Add(1) })
+	}
+	p.SyncAll()
+	close(stop)
+	wg.Wait()
+	if got := ran.Load(); got != 5000 {
+		t.Fatalf("%d of 5000 jobs ran", got)
+	}
+	jobs, bytes, _ := p.Stats()
+	if jobs != 5000 || bytes != 20000 {
+		t.Fatalf("stats jobs=%d bytes=%d, want 5000/20000", jobs, bytes)
+	}
+}
+
+// TestPoolClose pins shutdown: Close drains pending work, is
+// idempotent, and later Exec calls run inline so no bytes are lost.
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Exec(i%4, 1, func() { ran.Add(1) })
+	}
+	p.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("Close lost work: %d of 100 jobs ran", got)
+	}
+	p.Close() // idempotent
+	p.Exec(0, 1, func() { ran.Add(1) })
+	if got := ran.Load(); got != 101 {
+		t.Fatalf("Exec after Close did not run inline: %d", got)
+	}
+	p.Sync(0) // must not block on a closed pool
+	p.SyncAll()
+	if err := p.SelfCheck(); err != nil {
+		t.Fatalf("SelfCheck after close: %v", err)
+	}
+}
+
+// TestPoolWorkerClamp pins the worker count clamp to [1, banks].
+func TestPoolWorkerClamp(t *testing.T) {
+	for _, tc := range []struct{ ask, banks, want int }{
+		{0, 4, 1}, {-3, 4, 1}, {2, 4, 2}, {9, 4, 4},
+	} {
+		p := NewPool(tc.ask, tc.banks)
+		if got := p.Workers(); got != tc.want {
+			t.Errorf("NewPool(%d, %d).Workers() = %d, want %d", tc.ask, tc.banks, got, tc.want)
+		}
+		p.Close()
+	}
+}
+
+// TestPoolCrossLaneProgress checks that a long-running job on one lane
+// does not block another lane's jobs when a second worker is free.
+func TestPoolCrossLaneProgress(t *testing.T) {
+	p := NewPool(2, 2)
+	defer p.Close()
+	gate := make(chan struct{})
+	p.Exec(0, 1, func() { <-gate })
+	done := make(chan struct{})
+	p.Exec(1, 1, func() { close(done) })
+	// Lane 1's job must complete even though lane 0 is blocked.
+	<-done
+	close(gate)
+	p.SyncAll()
+}

@@ -80,10 +80,17 @@ type Op struct {
 	// released.
 	Done func()
 
+	// DonePage is the closure-free completion form for tagged ops: it
+	// receives Tag when the op completes. The flush hot path uses it
+	// with one long-lived callback instead of allocating a closure per
+	// op. At most one of Done/DonePage may be set.
+	DonePage func(uint32)
+
 	id          int64
 	claimed     bool
 	suspended   bool
 	suspendedAt sim.Time
+	pooled      bool // obtained from the scheduler's freelist; recycled on completion
 }
 
 // Hooks connects the scheduler to its controller.
@@ -98,6 +105,15 @@ type Hooks struct {
 	// cursor, so time-triggered fault plans see the background
 	// timeline advance.
 	Tick func(sim.Time)
+
+	// Merge, when set, is called between the completion callbacks of a
+	// multi-lane window — k ≥ 2 ops retiring at one simulated instant,
+	// their lanes' effects merging in admission order. The §9 crash
+	// model hooks a fault.Injector.AtMerge check here, so an armed
+	// fault can fire with the window partially merged: the earlier
+	// ops' callbacks have run, the later ops are lost in flight. The
+	// hook may panic with a *fault.Crash; it must not enqueue work.
+	Merge func()
 }
 
 // Scheduler executes queued ops over simulated time.
@@ -116,6 +132,8 @@ type Scheduler struct {
 
 	run       []*Op  // scratch: current running set
 	bankTaken []bool // scratch: banks reserved during pick
+	free      []*Op  // recycled ops for the background hot path
+	finished  []*Op  // scratch: ops retiring in the current window
 }
 
 // New builds a scheduler running up to lanes concurrent ops — of which
@@ -148,6 +166,19 @@ func New(lanes, flushLanes int, resumeDelay sim.Duration, banks *flash.BankSet, 
 		hooks:       hooks,
 		bankTaken:   make([]bool, banks.Banks()),
 	}
+}
+
+// GetOp returns a zeroed Op, recycled from completed pooled ops when
+// one is available. Ops obtained here are returned to the freelist
+// when they complete; callers must not retain the pointer past
+// Enqueue. Ops built with a plain literal are never recycled.
+func (s *Scheduler) GetOp() *Op {
+	if n := len(s.free); n > 0 {
+		op := s.free[n-1]
+		s.free = s.free[:n-1]
+		return op
+	}
+	return &Op{pooled: true}
 }
 
 // Enqueue appends op to the work queue.
@@ -330,24 +361,41 @@ func (s *Scheduler) chargeOverlap(run []*Op, dt sim.Duration) {
 }
 
 // completeFinished retires every running-set op that has no work left,
-// in FIFO order: release the bank, count the completion, run Done.
+// in FIFO order: release the bank, count the completion, run the
+// completion callback. When two or more ops retire in one window —
+// disjoint banks completing at the same simulated instant — the Merge
+// hook runs in each gap between callbacks, so an armed fault can crash
+// the device with the window partially merged (§9 in parallel form).
+// A pooled op returns to the freelist once its callback has run.
 func (s *Scheduler) completeFinished() {
-	var finished []*Op
+	s.finished = s.finished[:0]
 	kept := s.queue[:0]
 	for _, op := range s.queue {
 		if op.claimed && op.Remaining == 0 {
-			finished = append(finished, op)
+			s.finished = append(s.finished, op)
 		} else {
 			kept = append(kept, op)
 		}
 	}
 	s.queue = kept
-	for _, op := range finished {
+	multi := len(s.finished) > 1
+	for i, op := range s.finished {
+		if multi && i > 0 && s.hooks.Merge != nil {
+			s.hooks.Merge()
+		}
 		s.banks.Release(op.Bank, op.id)
 		op.claimed = false
 		s.ops.Counters(op.Kind).Completed++
-		if op.Done != nil {
-			op.Done()
+		done, donePage, tag := op.Done, op.DonePage, op.Tag
+		if op.pooled {
+			*op = Op{pooled: true}
+			s.free = append(s.free, op)
+		}
+		switch {
+		case done != nil:
+			done()
+		case donePage != nil:
+			donePage(tag)
 		}
 	}
 }
@@ -502,8 +550,9 @@ func (s *Scheduler) NextCompletionIn() (need sim.Duration, ok bool) {
 // mid-burst — but its effect is disowned.
 func (s *Scheduler) CancelDone(lpn uint32) bool {
 	for _, op := range s.queue {
-		if op.Kind == stats.OpFlush && op.Tagged && op.Tag == lpn && op.Done != nil {
+		if op.Kind == stats.OpFlush && op.Tagged && op.Tag == lpn && (op.Done != nil || op.DonePage != nil) {
 			op.Done = nil
+			op.DonePage = nil
 			return true
 		}
 	}
@@ -516,7 +565,7 @@ func (s *Scheduler) CancelDone(lpn uint32) bool {
 func (s *Scheduler) PendingDone(kind stats.OpKind) int {
 	n := 0
 	for _, op := range s.queue {
-		if op.Kind == kind && op.Done != nil {
+		if op.Kind == kind && (op.Done != nil || op.DonePage != nil) {
 			n++
 		}
 	}
